@@ -1,0 +1,26 @@
+"""Shared fixtures for the per-figure benchmark harness.
+
+Every benchmark runs one experiment driver exactly once (``benchmark.pedantic``
+with a single round — the experiments are seconds-to-minutes long, so repeated
+timing rounds would be wasteful) and prints the same rows/series the paper's
+figure reports.  Set ``CONTRA_EXPERIMENT_PRESET=default`` or ``full`` for
+longer, higher-fidelity sweeps; the default ``quick`` preset reproduces the
+shapes in a few minutes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import config_from_env
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    """The experiment preset selected via CONTRA_EXPERIMENT_PRESET (default: quick)."""
+    return config_from_env()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

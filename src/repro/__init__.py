@@ -1,0 +1,57 @@
+"""Contra: a programmable system for performance-aware routing (NSDI 2020).
+
+A Python reproduction of the full system: the policy language and compiler
+(:mod:`repro.core`), the topology and discrete-event simulation substrates
+(:mod:`repro.topology`, :mod:`repro.simulator`), the Contra data-plane runtime
+(:mod:`repro.protocol`), the baseline systems (:mod:`repro.baselines`), the
+workload generators (:mod:`repro.workloads`) and the evaluation experiments
+(:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import compile_policy, parse_policy
+    from repro.topology import leafspine
+    from repro.protocol import ContraSystem
+
+    policy = parse_policy("minimize( if leaf0 .* then path.util else path.lat )")
+    topo = leafspine(leaves=2, spines=2, hosts_per_leaf=2)
+    compiled = compile_policy(policy, topo)
+    system = ContraSystem(compiled)
+"""
+
+from repro.core import (
+    CompiledPolicy,
+    CompileOptions,
+    Policy,
+    Rank,
+    compile_policy,
+    minimize,
+    parse_policy,
+)
+from repro.exceptions import (
+    CompilationError,
+    ContraError,
+    PolicyError,
+    SimulationError,
+    TopologyError,
+    WorkloadError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "Policy",
+    "Rank",
+    "CompiledPolicy",
+    "CompileOptions",
+    "compile_policy",
+    "parse_policy",
+    "minimize",
+    "ContraError",
+    "PolicyError",
+    "TopologyError",
+    "CompilationError",
+    "SimulationError",
+    "WorkloadError",
+]

@@ -1,0 +1,15 @@
+"""Baseline routing systems the paper compares against."""
+
+from repro.baselines.ecmp import EcmpSystem, ShortestPathSystem
+from repro.baselines.hula import HulaRouting, HulaSystem
+from repro.baselines.spain import SpainRouting, SpainSystem, compute_spain_paths
+
+__all__ = [
+    "EcmpSystem",
+    "ShortestPathSystem",
+    "HulaSystem",
+    "HulaRouting",
+    "SpainSystem",
+    "SpainRouting",
+    "compute_spain_paths",
+]

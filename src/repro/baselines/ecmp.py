@@ -1,0 +1,85 @@
+"""ECMP and single shortest-path baselines.
+
+ECMP hashes each flow onto one of the equal-cost shortest-path next hops,
+irrespective of network load — the classic static load balancer Contra and
+Hula are compared against in Figures 11/12.  :class:`ShortestPathSystem` is
+the even simpler "SP" baseline used on Abilene (Figure 15): a single,
+deterministic shortest path per destination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.simulator.network import Network, RoutingSystem
+from repro.simulator.packet import Packet
+from repro.simulator.switchnode import RoutingLogic
+
+__all__ = ["EcmpSystem", "ShortestPathSystem"]
+
+
+def _next_hop_table(network: Network, all_hops: bool) -> Dict[str, Dict[str, List[str]]]:
+    """For every switch, the shortest-path next hops towards every other switch.
+
+    ``all_hops`` keeps every equal-cost next hop (ECMP); otherwise only the
+    lexicographically first one (single shortest path).
+    """
+    topology = network.topology
+    table: Dict[str, Dict[str, List[str]]] = {s: {} for s in topology.switches}
+    lengths = topology.shortest_path_lengths()
+    for src in topology.switches:
+        for dst in topology.switches:
+            if src == dst or dst not in lengths[src]:
+                continue
+            hops = [
+                nbr for nbr in topology.switch_neighbors(src)
+                if dst in lengths[nbr] and lengths[nbr][dst] + 1 == lengths[src][dst]
+            ]
+            hops.sort()
+            if not hops:
+                continue
+            table[src][dst] = hops if all_hops else hops[:1]
+    return table
+
+
+class _HashingLogic(RoutingLogic):
+    """Forward by hashing the flow onto the precomputed next-hop set."""
+
+    def __init__(self, system: "EcmpSystem"):
+        self.system = system
+
+    def on_data_packet(self, packet: Packet, inport: str) -> Optional[str]:
+        hops = self.system.next_hops(self.switch.name, packet.dst_switch)
+        if not hops:
+            return None
+        usable = [h for h in hops if not self.switch.link_failed(h)]
+        if not usable:
+            return None
+        index = hash(packet.flow_key()) % len(usable)
+        return usable[index]
+
+
+class EcmpSystem(RoutingSystem):
+    """Equal-cost multipath over shortest paths (load-oblivious)."""
+
+    name = "ecmp"
+    _all_hops = True
+
+    def __init__(self) -> None:
+        self._table: Dict[str, Dict[str, List[str]]] = {}
+
+    def prepare(self, network: Network) -> None:
+        self._table = _next_hop_table(network, all_hops=self._all_hops)
+
+    def create_switch_logic(self, switch: str) -> RoutingLogic:
+        return _HashingLogic(self)
+
+    def next_hops(self, switch: str, destination: str) -> List[str]:
+        return self._table.get(switch, {}).get(destination, [])
+
+
+class ShortestPathSystem(EcmpSystem):
+    """Single shortest path per destination (the "SP" baseline of Figure 15)."""
+
+    name = "shortest-path"
+    _all_hops = False

@@ -1,0 +1,170 @@
+"""Command-line interface.
+
+``contra`` exposes the main library workflows without writing Python:
+
+* ``contra compile`` — compile a policy for a topology and print compiler
+  statistics (optionally dumping the generated P4-style programs);
+* ``contra experiment`` — run one of the evaluation experiments and print the
+  same table the corresponding benchmark regenerates;
+* ``contra policies`` — list the built-in Figure 3 policies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.compiler import compile_policy
+from repro.core.parser import parse_policy
+from repro.core.policies import ALL_POLICIES
+from repro.experiments import report
+from repro.experiments.ablations import (
+    run_flowlet_timeout_ablation,
+    run_probe_period_ablation,
+    run_versioning_ablation,
+)
+from repro.experiments.config import config_from_env, default_config, quick_config
+from repro.experiments.failure_recovery import run_failure_recovery
+from repro.experiments.fct import run_abilene_fct, run_fattree_fct, run_queue_cdf
+from repro.experiments.overhead import run_overhead_experiment
+from repro.experiments.scalability import run_scalability_sweep
+from repro.topology import (
+    abilene,
+    builtin_topologies,
+    builtin_topology,
+    fattree,
+    from_edge_list_file,
+    leafspine,
+    random_network,
+)
+
+__all__ = ["main"]
+
+_EXPERIMENTS = (
+    "fig9-10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablations",
+)
+
+
+def _build_topology(args: argparse.Namespace):
+    name = args.topology
+    if name == "fattree":
+        return fattree(args.k)
+    if name == "leafspine":
+        return leafspine(args.k, args.k, hosts_per_leaf=2)
+    if name == "abilene":
+        return abilene()
+    if name == "random":
+        return random_network(args.size, seed=args.seed)
+    if name in builtin_topologies():
+        return builtin_topology(name, hosts_per_switch=1)
+    path = Path(name)
+    if path.exists():
+        return from_edge_list_file(path)
+    raise SystemExit(f"unknown topology {name!r}; builtin: fattree, leafspine, abilene, "
+                     f"random, {builtin_topologies()}, or an edge-list file path")
+
+
+def _cmd_policies(_args: argparse.Namespace) -> int:
+    for key, factory in sorted(ALL_POLICIES.items()):
+        policy = factory()
+        print(f"{key:4s} {policy.name:28s} {policy}")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    topology = _build_topology(args)
+    if args.policy in ALL_POLICIES:
+        policy = ALL_POLICIES[args.policy]()
+    else:
+        policy = parse_policy(args.policy)
+    compiled = compile_policy(policy, topology)
+    print(f"policy        : {compiled.policy}")
+    print(f"topology      : {topology.name} ({len(topology.switches)} switches)")
+    print(f"compile time  : {compiled.compile_time * 1000:.1f} ms")
+    print(f"probe ids     : {compiled.num_probe_ids}")
+    print(f"metrics       : {list(compiled.carried_attrs)}")
+    print(f"product graph : {compiled.product_graph.num_nodes} nodes, "
+          f"{compiled.product_graph.num_edges} edges, "
+          f"max {compiled.product_graph.max_tags_per_switch()} tags/switch")
+    print(f"probe period  : {compiled.probe_period:.3f} ms")
+    print(f"switch state  : max {compiled.max_state_kb():.1f} kB")
+    if args.emit_p4:
+        from repro.core.p4gen import generate_all_p4
+        out_dir = Path(args.emit_p4)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        programs = generate_all_p4(compiled)
+        for switch, program in programs.items():
+            (out_dir / f"{switch}.p4").write_text(program.source)
+        print(f"wrote {len(programs)} P4 programs to {out_dir}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    config = {"quick": quick_config(), "default": default_config()}.get(
+        args.preset, config_from_env())
+    name = args.name
+    if name == "fig9-10":
+        points = run_scalability_sweep(fattree_sizes=(20, 125), random_sizes=(100, 200))
+        print(report.format_scalability(points))
+    elif name == "fig11":
+        print(report.format_fct(run_fattree_fct(config), "Figure 11: symmetric fat-tree FCT"))
+    elif name == "fig12":
+        print(report.format_fct(run_fattree_fct(config, asymmetric=True),
+                                "Figure 12: asymmetric fat-tree FCT"))
+    elif name == "fig13":
+        print(report.format_queue_cdf(run_queue_cdf(config)))
+    elif name == "fig14":
+        print(report.format_recovery(run_failure_recovery(config)))
+    elif name == "fig15":
+        print(report.format_fct(run_abilene_fct(config), "Figure 15: Abilene FCT"))
+    elif name == "fig16":
+        print(report.format_overhead(run_overhead_experiment(config)))
+    elif name == "ablations":
+        print(report.format_ablation(run_probe_period_ablation(config), "Probe period ablation"))
+        print()
+        print(report.format_ablation(run_flowlet_timeout_ablation(config),
+                                     "Flowlet timeout ablation"))
+        print()
+        print(report.format_ablation(run_versioning_ablation(config), "Versioning ablation"))
+    else:
+        raise SystemExit(f"unknown experiment {name!r}; available: {_EXPERIMENTS}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="contra",
+        description="Contra (NSDI 2020) reproduction: compiler, simulator and experiments.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    policies = sub.add_parser("policies", help="list the built-in Figure 3 policies")
+    policies.set_defaults(func=_cmd_policies)
+
+    compile_cmd = sub.add_parser("compile", help="compile a policy for a topology")
+    compile_cmd.add_argument("policy", help="a policy key (P1..P9) or a minimize(...) expression")
+    compile_cmd.add_argument("--topology", default="fattree",
+                             help="fattree | leafspine | abilene | random | builtin name | edge-list file")
+    compile_cmd.add_argument("--k", type=int, default=4, help="fat-tree arity / leaf-spine size")
+    compile_cmd.add_argument("--size", type=int, default=50, help="random topology size")
+    compile_cmd.add_argument("--seed", type=int, default=0)
+    compile_cmd.add_argument("--emit-p4", metavar="DIR", default=None,
+                             help="write the generated per-switch P4 programs to DIR")
+    compile_cmd.set_defaults(func=_cmd_compile)
+
+    experiment = sub.add_parser("experiment", help="run one evaluation experiment")
+    experiment.add_argument("name", choices=_EXPERIMENTS)
+    experiment.add_argument("--preset", choices=("quick", "default", "env"), default="quick")
+    experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Contra's core contribution: the policy language, analyses and compiler."""
+
+from repro.core.analysis import (
+    Decomposition,
+    IsotonicityResult,
+    MonotonicityResult,
+    SubPolicy,
+    check_isotonicity,
+    check_monotonicity,
+    decompose,
+)
+from repro.core.ast import PathContext, Policy
+from repro.core.attributes import ATTRIBUTES, MetricVector, PathAttribute
+from repro.core.builder import if_, inf, matches, minimize, path, rank_tuple
+from repro.core.compiler import CompiledPolicy, CompileOptions, compile_policy
+from repro.core.device_config import DeviceConfig, StateEstimate, TagInfo
+from repro.core.parser import parse_expression, parse_policy
+from repro.core.product_graph import PGNode, ProductGraph, build_product_graph
+from repro.core.rank import INFINITY, Rank
+from repro.core.regex import PathRegex, parse_regex
+
+__all__ = [
+    "Policy",
+    "PathContext",
+    "Rank",
+    "INFINITY",
+    "MetricVector",
+    "PathAttribute",
+    "ATTRIBUTES",
+    "PathRegex",
+    "parse_regex",
+    "parse_policy",
+    "parse_expression",
+    "minimize",
+    "if_",
+    "matches",
+    "path",
+    "inf",
+    "rank_tuple",
+    "check_monotonicity",
+    "check_isotonicity",
+    "decompose",
+    "Decomposition",
+    "SubPolicy",
+    "MonotonicityResult",
+    "IsotonicityResult",
+    "ProductGraph",
+    "PGNode",
+    "build_product_graph",
+    "DeviceConfig",
+    "TagInfo",
+    "StateEstimate",
+    "CompiledPolicy",
+    "CompileOptions",
+    "compile_policy",
+]

@@ -1,0 +1,17 @@
+"""Static analyses of Contra policies: monotonicity, isotonicity, decomposition."""
+
+from repro.core.analysis.decomposition import Decomposition, SubPolicy, decompose
+from repro.core.analysis.isotonicity import IsotonicityResult, branch_is_isotonic, check_isotonicity
+from repro.core.analysis.monotonicity import MonotonicityResult, check_monotonicity, require_monotone
+
+__all__ = [
+    "Decomposition",
+    "SubPolicy",
+    "decompose",
+    "IsotonicityResult",
+    "branch_is_isotonic",
+    "check_isotonicity",
+    "MonotonicityResult",
+    "check_monotonicity",
+    "require_monotone",
+]

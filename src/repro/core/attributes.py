@@ -1,0 +1,166 @@
+"""Path attributes and their composition semantics.
+
+Contra policies reference dynamic path metrics such as ``path.util`` and
+``path.lat`` (Figure 2).  Each attribute is defined by how per-link values
+compose along a path:
+
+* ``util`` — bottleneck utilization: the **maximum** link utilization,
+* ``lat``  — end-to-end latency: the **sum** of link latencies,
+* ``len``  — hop count: the **count** of links (sum of 1 per link).
+
+Probes carry a *metric vector*: one accumulated value per attribute that the
+compiled policy needs.  The composition operation also determines the
+monotonicity/isotonicity classification used by the policy analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Tuple
+
+from repro.exceptions import PolicyError
+
+__all__ = ["PathAttribute", "ATTRIBUTES", "attribute", "MetricVector", "metric_names"]
+
+
+@dataclass(frozen=True)
+class PathAttribute:
+    """Definition of one dynamic path metric.
+
+    Attributes
+    ----------
+    name:
+        Attribute name as written in policies (``util``, ``lat``, ``len``).
+    composition:
+        ``"max"``, ``"sum"`` or ``"count"`` — how per-link values accumulate.
+    initial:
+        The metric value of the empty path.
+    bits:
+        Number of bits a probe needs to carry this metric (used for the
+        switch-state and traffic-overhead estimates).
+    """
+
+    name: str
+    composition: str
+    initial: float
+    bits: int = 32
+
+    def extend(self, accumulated: float, link_value: float) -> float:
+        """Combine an accumulated path value with one more link's value."""
+        if self.composition == "max":
+            return max(accumulated, link_value)
+        if self.composition == "sum":
+            return accumulated + link_value
+        if self.composition == "count":
+            return accumulated + 1.0
+        raise PolicyError(f"unknown composition {self.composition!r}")
+
+    @property
+    def is_monotone(self) -> bool:
+        """Whether extending a path can never improve (decrease) the metric.
+
+        True for all built-in attributes given non-negative link values.
+        """
+        return self.composition in ("max", "sum", "count")
+
+    @property
+    def is_max_like(self) -> bool:
+        """Max-composition metrics break isotonicity when used as a lexicographic prefix."""
+        return self.composition == "max"
+
+
+#: Registry of the attributes supported by the policy language.
+ATTRIBUTES: Dict[str, PathAttribute] = {
+    "util": PathAttribute("util", "max", 0.0, bits=32),
+    "lat": PathAttribute("lat", "sum", 0.0, bits=32),
+    "len": PathAttribute("len", "count", 0.0, bits=16),
+}
+
+
+def attribute(name: str) -> PathAttribute:
+    """Look up an attribute by name, raising :class:`PolicyError` for unknown names."""
+    try:
+        return ATTRIBUTES[name]
+    except KeyError:
+        raise PolicyError(
+            f"unknown path attribute {name!r}; supported: {sorted(ATTRIBUTES)}") from None
+
+
+def metric_names() -> List[str]:
+    """All supported attribute names in canonical order."""
+    return sorted(ATTRIBUTES)
+
+
+class MetricVector:
+    """An accumulated metric vector carried by a probe.
+
+    The vector holds one value per attribute name in a fixed order; it is the
+    ``mv`` field from the paper's pseudocode (Figure 7).
+    """
+
+    __slots__ = ("_names", "_values")
+
+    def __init__(self, names: Iterable[str], values: Iterable[float] | None = None):
+        self._names: Tuple[str, ...] = tuple(names)
+        for name in self._names:
+            attribute(name)  # validation
+        if values is None:
+            self._values: Tuple[float, ...] = tuple(
+                ATTRIBUTES[n].initial for n in self._names)
+        else:
+            self._values = tuple(float(v) for v in values)
+            if len(self._values) != len(self._names):
+                raise PolicyError("metric vector length mismatch")
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return self._names
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        return self._values
+
+    def get(self, name: str) -> float:
+        """Value of one attribute; raises if the vector does not carry it."""
+        try:
+            return self._values[self._names.index(name)]
+        except ValueError:
+            raise PolicyError(f"metric vector {self} does not carry {name!r}") from None
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(zip(self._names, self._values))
+
+    def extend(self, link_values: Mapping[str, float]) -> "MetricVector":
+        """A new vector with every attribute extended by one link.
+
+        ``link_values`` maps attribute name to the link's value (``count``
+        attributes ignore it).  Missing link values default to 0.
+        """
+        new_values = []
+        for name, acc in zip(self._names, self._values):
+            attr = ATTRIBUTES[name]
+            new_values.append(attr.extend(acc, float(link_values.get(name, 0.0))))
+        return MetricVector(self._names, new_values)
+
+    def replace(self, name: str, value: float) -> "MetricVector":
+        """A new vector with one attribute overwritten."""
+        if name not in self._names:
+            raise PolicyError(f"metric vector {self} does not carry {name!r}")
+        values = [value if n == name else v for n, v in zip(self._names, self._values)]
+        return MetricVector(self._names, values)
+
+    def bits(self) -> int:
+        """Wire size of this vector in bits (for overhead accounting)."""
+        return sum(ATTRIBUTES[n].bits for n in self._names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricVector):
+            return NotImplemented
+        return self._names == other._names and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash((self._names, self._values))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={v:g}" for n, v in zip(self._names, self._values))
+        return f"MetricVector({inner})"

@@ -1,0 +1,257 @@
+"""The Contra compiler: policy + topology → per-switch device programs (§4).
+
+The compiler performs, in order:
+
+1. **Policy analysis** — monotonicity check (loops die out, §5.1), isotonicity
+   check and decomposition into isotonic subpolicies with separate probe ids
+   (§3 challenge #3, §4).
+2. **Product graph construction** — the policy's regexes are reversed,
+   determinised, and combined with the topology (§4.1), then tags are
+   minimised.
+3. **Device configuration generation** — one :class:`DeviceConfig` per switch,
+   containing the probe tag-transition table, multicast sets, acceptance
+   signatures and sizing information (§4.2, §4.3).
+4. **Protocol parameter selection** — a probe period of at least half the
+   network's worst round-trip time (§5.2).
+
+The output, :class:`CompiledPolicy`, is interpreted directly by the simulator
+runtime (:mod:`repro.protocol`) and can be rendered to P4-style source with
+:mod:`repro.core.p4gen`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core import ast
+from repro.core.analysis.decomposition import Decomposition, decompose
+from repro.core.analysis.isotonicity import IsotonicityResult, check_isotonicity
+from repro.core.analysis.monotonicity import MonotonicityResult, check_monotonicity
+from repro.core.device_config import DeviceConfig, TagInfo
+from repro.core.product_graph import PGNode, ProductGraph, build_product_graph
+from repro.core.rank import INFINITY, Rank
+from repro.exceptions import CompilationError, PolicyAnalysisError
+from repro.topology.graph import Topology
+
+__all__ = ["CompileOptions", "CompiledPolicy", "compile_policy"]
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Knobs controlling compilation (all defaults match the paper's prototype)."""
+
+    #: Run DFA minimisation on the policy automata.
+    minimize_automata: bool = True
+    #: Merge behaviourally equivalent product-graph nodes (fewer tags).
+    minimize_tags: bool = True
+    #: Raise if the policy is not provably monotone (otherwise only record it).
+    strict_monotonicity: bool = True
+    #: Flowlet-table slots provisioned per (tag, pid) on every switch.
+    flowlet_slots: int = 256
+    #: Loop-detection table slots on every switch.
+    loop_table_slots: int = 256
+    #: Multiplier applied to the measured worst-case RTT when choosing the
+    #: probe period (must be >= 0.5 per §5.2).
+    probe_period_rtt_multiplier: float = 0.5
+
+
+@dataclass
+class CompiledPolicy:
+    """Everything the compiler produces for one (policy, topology) pair."""
+
+    policy: ast.Policy
+    topology: Topology
+    options: CompileOptions
+    decomposition: Decomposition
+    monotonicity: MonotonicityResult
+    isotonicity: IsotonicityResult
+    product_graph: ProductGraph
+    device_configs: Dict[str, DeviceConfig]
+    #: Recommended probe period in milliseconds (>= 0.5 x worst RTT, §5.2).
+    probe_period: float
+    #: Wall-clock compile time in seconds (Figure 9).
+    compile_time: float = 0.0
+
+    # ------------------------------------------------------------------ sizing
+
+    def total_state_bytes(self) -> int:
+        """Sum of the per-switch state estimates (Figure 10 reports the max)."""
+        return sum(cfg.state_estimate().total_bytes for cfg in self.device_configs.values())
+
+    def max_state_bytes(self) -> int:
+        """The largest per-switch state estimate."""
+        return max(cfg.state_estimate().total_bytes for cfg in self.device_configs.values())
+
+    def max_state_kb(self) -> float:
+        return self.max_state_bytes() / 1024.0
+
+    @property
+    def num_probe_ids(self) -> int:
+        return self.decomposition.num_probes
+
+    @property
+    def carried_attrs(self) -> Tuple[str, ...]:
+        return self.decomposition.carried_attrs
+
+    def device(self, switch: str) -> DeviceConfig:
+        try:
+            return self.device_configs[switch]
+        except KeyError:
+            raise CompilationError(f"no device configuration for switch {switch!r}") from None
+
+    # ------------------------------------------------------- reference oracle
+
+    def rank_of_path(
+        self,
+        path: Sequence[str],
+        link_metrics: Callable[[str, str], Mapping[str, float]],
+    ) -> Rank:
+        """Evaluate the user policy on a concrete traffic path.
+
+        ``link_metrics(a, b)`` returns the metric values of the directed link
+        ``a -> b`` (e.g. ``{"util": 0.3, "lat": 0.05}``).  Used by tests and by
+        the reference oracle below; the data plane never does this explicitly.
+        """
+        from repro.core.attributes import ATTRIBUTES
+
+        metrics: Dict[str, float] = {}
+        for name in self.carried_attrs or ("len",):
+            metrics[name] = ATTRIBUTES[name].initial
+        for a, b in zip(path, path[1:]):
+            values = link_metrics(a, b)
+            for name in list(metrics):
+                metrics[name] = ATTRIBUTES[name].extend(metrics[name], float(values.get(name, 0.0)))
+        metrics.setdefault("len", float(max(0, len(path) - 1)))
+        regex_results = self.product_graph.traffic_path_acceptance(path)
+        return self.policy.rank_path(path, metrics, regex_results)
+
+    def reference_best_paths(
+        self,
+        src: str,
+        dst: str,
+        link_metrics: Callable[[str, str], Mapping[str, float]],
+        cutoff: Optional[int] = None,
+    ) -> Tuple[Rank, List[List[str]]]:
+        """Exhaustive oracle: the optimal policy rank and all paths achieving it.
+
+        Enumerates simple paths (exponential; only for tests and small
+        topologies) and evaluates the policy on each.  The protocol's converged
+        choice must match this oracle under stable metrics — that is the
+        "Optimal" property in Figure 1.
+        """
+        best_rank = INFINITY
+        best_paths: List[List[str]] = []
+        for path in self.topology.all_simple_paths(src, dst, cutoff=cutoff):
+            rank = self.rank_of_path(path, link_metrics)
+            if rank < best_rank:
+                best_rank = rank
+                best_paths = [path]
+            elif rank == best_rank and rank.is_finite:
+                best_paths.append(path)
+        return best_rank, best_paths
+
+    def __repr__(self) -> str:
+        return (f"CompiledPolicy(policy={self.policy.name!r}, "
+                f"switches={len(self.device_configs)}, "
+                f"pids={self.num_probe_ids}, pg_nodes={self.product_graph.num_nodes})")
+
+
+def compile_policy(
+    policy: ast.Policy,
+    topology: Topology,
+    options: Optional[CompileOptions] = None,
+) -> CompiledPolicy:
+    """Compile a policy for a topology into per-switch device configurations."""
+    if options is None:
+        options = CompileOptions()
+    if not topology.switches:
+        raise CompilationError("cannot compile for a topology without switches")
+
+    started = time.perf_counter()
+
+    monotonicity = check_monotonicity(policy)
+    if options.strict_monotonicity and not monotonicity.is_monotone:
+        raise PolicyAnalysisError(
+            "policy is not monotone and strict_monotonicity is enabled: "
+            + "; ".join(monotonicity.reasons))
+    isotonicity = check_isotonicity(policy)
+    decomposition = decompose(policy)
+
+    product_graph = build_product_graph(
+        topology,
+        policy.regexes(),
+        minimize_automata=options.minimize_automata,
+        minimize_tags=options.minimize_tags,
+    )
+
+    device_configs = _generate_device_configs(policy, topology, product_graph, decomposition, options)
+
+    probe_period = max(options.probe_period_rtt_multiplier, 0.5) * topology.max_rtt()
+    if probe_period <= 0:
+        probe_period = 0.25
+
+    elapsed = time.perf_counter() - started
+    return CompiledPolicy(
+        policy=policy,
+        topology=topology,
+        options=options,
+        decomposition=decomposition,
+        monotonicity=monotonicity,
+        isotonicity=isotonicity,
+        product_graph=product_graph,
+        device_configs=device_configs,
+        probe_period=probe_period,
+        compile_time=elapsed,
+    )
+
+
+def _generate_device_configs(
+    policy: ast.Policy,
+    topology: Topology,
+    product_graph: ProductGraph,
+    decomposition: Decomposition,
+    options: CompileOptions,
+) -> Dict[str, DeviceConfig]:
+    regexes = tuple(policy.regexes())
+    carried = decomposition.carried_attrs
+    network_size = len(topology.switches)
+    configs: Dict[str, DeviceConfig] = {}
+
+    for switch in topology.switches:
+        local_nodes = product_graph.nodes_of_switch(switch)
+        tags: Dict[int, TagInfo] = {}
+        for node in local_nodes:
+            tag = product_graph.tag_of(node)
+            neighbors = tuple(sorted({succ.switch for succ in product_graph.successors(node)}))
+            tags[tag] = TagInfo(
+                tag=tag,
+                states=node.states,
+                acceptance=product_graph.acceptance(node),
+                multicast_neighbors=neighbors,
+            )
+
+        probe_transition: Dict[Tuple[str, int], int] = {}
+        for neighbor in topology.switch_neighbors(switch):
+            for neighbor_node in product_graph.nodes_of_switch(neighbor):
+                successor = product_graph.successor_at(neighbor_node, switch)
+                if successor is None:
+                    continue
+                key = (neighbor, product_graph.tag_of(neighbor_node))
+                probe_transition[key] = product_graph.tag_of(successor)
+
+        origin_node = product_graph.probe_sending_nodes[switch]
+        configs[switch] = DeviceConfig(
+            switch=switch,
+            regexes=regexes,
+            tags=tags,
+            probe_transition=probe_transition,
+            probe_origin_tag=product_graph.tag_of(origin_node),
+            carried_attrs=carried,
+            num_probe_ids=max(1, decomposition.num_probes),
+            network_size=network_size,
+            flowlet_slots=options.flowlet_slots,
+            loop_table_slots=options.loop_table_slots,
+        )
+    return configs

@@ -1,0 +1,5 @@
+"""P4 code generation backend for compiled Contra policies."""
+
+from repro.core.p4gen.codegen import P4Program, generate_all_p4, generate_p4
+
+__all__ = ["P4Program", "generate_p4", "generate_all_p4"]

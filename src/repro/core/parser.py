@@ -1,0 +1,277 @@
+"""Parser for the textual Contra policy language.
+
+The concrete syntax follows the paper (Figure 2 and the examples in §2), e.g.::
+
+    minimize( if A .* then path.util else path.lat )
+    minimize( if .* W .* then 0 else inf )
+    minimize( if path.util < .8 then (1, 0, path.util) else (2, path.len, path.util) )
+    minimize( (if .* A B .* then 10 else 0) + path.len )
+
+The grammar is ambiguous in boolean positions: ``if A B D then ...`` uses a
+path regular expression, while ``if path.util < .8 then ...`` uses a metric
+comparison.  The parser resolves this the same way a reader does: it scans the
+boolean test up to the enclosing ``then``/``and``/``or``; if the scan finds a
+comparison operator at the top nesting level the test is a comparison,
+otherwise the raw text of the test is parsed as a path regex.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core import ast
+from repro.core.regex import parse_regex
+from repro.exceptions import PolicyParseError
+
+__all__ = ["parse_policy", "parse_expression"]
+
+_TOKEN_SPEC = [
+    ("number", r"\d+\.\d*|\.\d+|\d+"),
+    ("pathattr", r"path\.[A-Za-z_][A-Za-z0-9_]*"),
+    ("cmp", r"<=|>=|==|!=|<|>"),
+    ("ident", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("infinity", r"∞"),
+    ("plus", r"\+"),
+    ("minus", r"-"),
+    ("star", r"\*"),
+    ("dot", r"\."),
+    ("lparen", r"\("),
+    ("rparen", r"\)"),
+    ("comma", r","),
+    ("ws", r"\s+"),
+]
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_KEYWORDS = {"minimize", "if", "then", "else", "not", "and", "or", "inf", "min", "max"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+    start: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise PolicyParseError("unexpected character", pos, text)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "ws":
+            if kind == "ident" and value in _KEYWORDS:
+                kind = value
+            if kind == "infinity":
+                kind = "inf"
+                value = "inf"
+            tokens.append(_Token(kind, value, match.start()))
+        pos = match.end()
+    return tokens
+
+
+class _PolicyParser:
+    """Recursive-descent parser over the token stream."""
+
+    _BOOL_STOP = {"then", "and", "or"}
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # ------------------------------------------------------------- utilities
+
+    def _peek(self, offset: int = 0) -> Optional[_Token]:
+        idx = self.index + offset
+        return self.tokens[idx] if idx < len(self.tokens) else None
+
+    def _advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._peek()
+        if token is None or token.kind != kind:
+            where = token.start if token else len(self.text)
+            found = token.value if token else "end of input"
+            raise PolicyParseError(f"expected {kind!r} but found {found!r}", where, self.text)
+        return self._advance()
+
+    def _error(self, message: str) -> PolicyParseError:
+        token = self._peek()
+        where = token.start if token else len(self.text)
+        return PolicyParseError(message, where, self.text)
+
+    # ---------------------------------------------------------------- policy
+
+    def parse_policy(self) -> ast.Policy:
+        self._expect("minimize")
+        self._expect("lparen")
+        expression = self.parse_expr()
+        self._expect("rparen")
+        if self._peek() is not None:
+            raise self._error("trailing input after policy")
+        return ast.Minimize(expression)
+
+    def parse_standalone_expr(self) -> ast.Expr:
+        expression = self.parse_expr()
+        if self._peek() is not None:
+            raise self._error("trailing input after expression")
+        return expression
+
+    # ----------------------------------------------------------- expressions
+
+    def parse_expr(self) -> ast.Expr:
+        token = self._peek()
+        if token is not None and token.kind == "if":
+            return self.parse_if()
+        return self.parse_additive()
+
+    def parse_if(self) -> ast.Expr:
+        self._expect("if")
+        condition = self.parse_bool()
+        self._expect("then")
+        then_branch = self.parse_expr()
+        self._expect("else")
+        else_branch = self.parse_expr()
+        return ast.If(condition, then_branch, else_branch)
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_term()
+        while True:
+            token = self._peek()
+            if token is None or token.kind not in ("plus", "minus"):
+                return left
+            op = "+" if token.kind == "plus" else "-"
+            self._advance()
+            right = self.parse_term()
+            left = ast.BinOp(op, left, right)
+
+    def parse_term(self) -> ast.Expr:
+        token = self._peek()
+        if token is None:
+            raise self._error("unexpected end of policy expression")
+        if token.kind == "number":
+            self._advance()
+            return ast.Const(float(token.value))
+        if token.kind == "inf":
+            self._advance()
+            return ast.Infinite()
+        if token.kind == "pathattr":
+            self._advance()
+            return ast.Attr(token.value.split(".", 1)[1])
+        if token.kind in ("min", "max"):
+            self._advance()
+            self._expect("lparen")
+            left = self.parse_expr()
+            self._expect("comma")
+            right = self.parse_expr()
+            self._expect("rparen")
+            return ast.BinOp(token.kind, left, right)
+        if token.kind == "if":
+            return self.parse_if()
+        if token.kind == "lparen":
+            return self.parse_paren_expr()
+        raise self._error(f"unexpected token {token.value!r} in policy expression")
+
+    def parse_paren_expr(self) -> ast.Expr:
+        """A parenthesised expression or a tuple rank ``(e1, e2, ...)``."""
+        self._expect("lparen")
+        items = [self.parse_expr()]
+        while self._peek() is not None and self._peek().kind == "comma":
+            self._advance()
+            items.append(self.parse_expr())
+        self._expect("rparen")
+        if len(items) == 1:
+            return items[0]
+        return ast.TupleExpr(tuple(items))
+
+    # --------------------------------------------------------------- booleans
+
+    def parse_bool(self) -> ast.BoolExpr:
+        left = self.parse_bool_and()
+        while self._peek() is not None and self._peek().kind == "or":
+            self._advance()
+            right = self.parse_bool_and()
+            left = ast.Or(left, right)
+        return left
+
+    def parse_bool_and(self) -> ast.BoolExpr:
+        left = self.parse_bool_factor()
+        while self._peek() is not None and self._peek().kind == "and":
+            self._advance()
+            right = self.parse_bool_factor()
+            left = ast.And(left, right)
+        return left
+
+    def parse_bool_factor(self) -> ast.BoolExpr:
+        token = self._peek()
+        if token is None:
+            raise self._error("unexpected end of boolean test")
+        if token.kind == "not":
+            self._advance()
+            return ast.Not(self.parse_bool_factor())
+
+        kind, stop_index = self._classify_bool_factor()
+        if kind == "comparison":
+            left = self.parse_additive()
+            op_token = self._expect("cmp")
+            right = self.parse_additive()
+            return ast.Compare(op_token.value, left, right)
+
+        # Path regex: hand the raw text slice to the regex parser.
+        start_pos = token.start
+        if stop_index < len(self.tokens):
+            end_pos = self.tokens[stop_index].start
+        else:
+            end_pos = len(self.text)
+        raw = self.text[start_pos:end_pos]
+        pattern = parse_regex(raw)
+        self.index = stop_index
+        return ast.RegexTest(pattern)
+
+    def _classify_bool_factor(self) -> Tuple[str, int]:
+        """Decide whether the upcoming boolean factor is a comparison or a regex.
+
+        Returns ``(kind, stop_index)`` where ``stop_index`` is the token index
+        of the terminator (``then`` / ``and`` / ``or`` / an unbalanced ``)`` /
+        end of input).
+        """
+        depth = 0
+        idx = self.index
+        saw_cmp = False
+        while idx < len(self.tokens):
+            token = self.tokens[idx]
+            if token.kind == "lparen":
+                depth += 1
+            elif token.kind == "rparen":
+                if depth == 0:
+                    break
+                depth -= 1
+            elif depth == 0:
+                if token.kind in self._BOOL_STOP:
+                    break
+                if token.kind == "cmp":
+                    saw_cmp = True
+            idx += 1
+        return ("comparison" if saw_cmp else "regex"), idx
+
+
+def parse_policy(text: str) -> ast.Policy:
+    """Parse a full ``minimize(...)`` policy written in the paper's syntax."""
+    if not isinstance(text, str) or not text.strip():
+        raise PolicyParseError("policy text must be a non-empty string")
+    return _PolicyParser(text).parse_policy()
+
+
+def parse_expression(text: str) -> ast.Expr:
+    """Parse a bare rank expression (without the surrounding ``minimize``)."""
+    if not isinstance(text, str) or not text.strip():
+        raise PolicyParseError("expression text must be a non-empty string")
+    return _PolicyParser(text).parse_standalone_expr()

@@ -1,0 +1,311 @@
+"""Product graph construction (§4.1).
+
+The product graph (PG) combines the policy's regular expressions with the
+network topology into one compact structure that represents *all*
+policy-compliant paths.  Its nodes — "virtual nodes" — are pairs of a physical
+switch and a vector of automaton states (one per regex); its edges follow
+topology links whose traversal advances every automaton consistently.
+
+Probes are disseminated along PG edges starting from *probe sending states*
+(the virtual node a destination's probes are born in), in the direction
+opposite to traffic.  Because the automata are built from the **reversed**
+regular expressions, a probe that reaches the virtual node ``(S, q)`` tells
+switch ``S`` which regexes the corresponding *traffic* path ``S → ... → dst``
+satisfies: exactly those whose automaton state in ``q`` is accepting.
+
+Every virtual node receives a small integer *tag*, unique per physical switch;
+tags are what probes and packets carry on the wire.  Tag minimisation merges
+behaviourally equivalent virtual nodes of the same switch (same acceptance
+signature, bisimilar successors), one of the compiler optimisations §6.1
+mentions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.automata import DEAD_STATE, DFA, dfa_from_regex
+from repro.core.regex import PathRegex
+from repro.exceptions import CompilationError
+from repro.topology.graph import Topology
+
+__all__ = ["PGNode", "ProductGraph", "build_product_graph"]
+
+
+@dataclass(frozen=True)
+class PGNode:
+    """A virtual node: a physical switch paired with one state per policy regex."""
+
+    switch: str
+    states: Tuple[int, ...]
+
+    def __str__(self) -> str:
+        if not self.states:
+            return self.switch
+        rendered = ",".join("-" if s == DEAD_STATE else str(s) for s in self.states)
+        return f"({self.switch};{rendered})"
+
+
+class ProductGraph:
+    """The product of the topology with the (reversed) policy automata."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        regexes: Sequence[PathRegex],
+        dfas: Sequence[DFA],
+    ):
+        self.topology = topology
+        self.regexes: Tuple[PathRegex, ...] = tuple(regexes)
+        self.dfas: Tuple[DFA, ...] = tuple(dfas)
+        if len(self.regexes) != len(self.dfas):
+            raise CompilationError("one DFA is required per policy regex")
+
+        #: All virtual nodes, in deterministic order.
+        self.nodes: List[PGNode] = []
+        self._node_index: Dict[PGNode, int] = {}
+        #: Probe-propagation edges: node -> successors (towards traffic sources).
+        self.out_edges: Dict[PGNode, List[PGNode]] = {}
+        self.in_edges: Dict[PGNode, List[PGNode]] = {}
+        #: The virtual node probes originating at a destination switch start in.
+        self.probe_sending_nodes: Dict[str, PGNode] = {}
+        #: tag assignment: node -> per-switch tag id.
+        self.tags: Dict[PGNode, int] = {}
+        #: reverse lookup: (switch, tag) -> node.
+        self._by_tag: Dict[Tuple[str, int], PGNode] = {}
+
+    # ------------------------------------------------------------ construction
+
+    def _add_node(self, node: PGNode) -> bool:
+        if node in self._node_index:
+            return False
+        self._node_index[node] = len(self.nodes)
+        self.nodes.append(node)
+        self.out_edges[node] = []
+        self.in_edges[node] = []
+        return True
+
+    def build(self) -> None:
+        """Explore the product graph from every probe-sending state."""
+        queue: List[PGNode] = []
+        for switch in self.topology.switches:
+            states = tuple(dfa.transition(dfa.initial, switch) for dfa in self.dfas)
+            node = PGNode(switch, states)
+            self.probe_sending_nodes[switch] = node
+            if self._add_node(node):
+                queue.append(node)
+
+        while queue:
+            node = queue.pop()
+            for neighbor in self.topology.switch_neighbors(node.switch):
+                next_states = tuple(
+                    dfa.transition(state, neighbor)
+                    for dfa, state in zip(self.dfas, node.states)
+                )
+                successor = PGNode(neighbor, next_states)
+                if self._add_node(successor):
+                    queue.append(successor)
+                if successor not in self.out_edges[node]:
+                    self.out_edges[node].append(successor)
+                    self.in_edges[successor].append(node)
+
+        self._assign_tags()
+
+    def _assign_tags(self) -> None:
+        """Assign per-switch tag ids in a deterministic order."""
+        self.tags.clear()
+        self._by_tag.clear()
+        per_switch: Dict[str, int] = {}
+        for node in sorted(self.nodes, key=lambda n: (n.switch, n.states)):
+            tag = per_switch.get(node.switch, 0)
+            per_switch[node.switch] = tag + 1
+            self.tags[node] = tag
+            self._by_tag[(node.switch, tag)] = node
+
+    # ---------------------------------------------------------------- queries
+
+    def node_for(self, switch: str, states: Sequence[int]) -> Optional[PGNode]:
+        node = PGNode(switch, tuple(states))
+        return node if node in self._node_index else None
+
+    def node_by_tag(self, switch: str, tag: int) -> PGNode:
+        try:
+            return self._by_tag[(switch, tag)]
+        except KeyError:
+            raise CompilationError(f"switch {switch!r} has no virtual node with tag {tag}") from None
+
+    def tag_of(self, node: PGNode) -> int:
+        return self.tags[node]
+
+    def nodes_of_switch(self, switch: str) -> List[PGNode]:
+        return [n for n in self.nodes if n.switch == switch]
+
+    def successors(self, node: PGNode) -> List[PGNode]:
+        """Probe-propagation successors (towards traffic sources)."""
+        return list(self.out_edges.get(node, []))
+
+    def predecessors(self, node: PGNode) -> List[PGNode]:
+        return list(self.in_edges.get(node, []))
+
+    def successor_at(self, node: PGNode, neighbor: str) -> Optional[PGNode]:
+        """The successor of ``node`` located at topology neighbor ``neighbor``."""
+        for succ in self.out_edges.get(node, []):
+            if succ.switch == neighbor:
+                return succ
+        return None
+
+    def acceptance(self, node: PGNode) -> Tuple[bool, ...]:
+        """Which policy regexes the traffic path ending at this node satisfies."""
+        return tuple(dfa.is_accepting(state) for dfa, state in zip(self.dfas, node.states))
+
+    def acceptance_by_regex(self, node: PGNode) -> Dict[PathRegex, bool]:
+        """Acceptance keyed by the original (traffic-direction) regex objects."""
+        return dict(zip(self.regexes, self.acceptance(node)))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(v) for v in self.out_edges.values())
+
+    def max_tags_per_switch(self) -> int:
+        """The largest number of virtual nodes any single switch has."""
+        counts: Dict[str, int] = {}
+        for node in self.nodes:
+            counts[node.switch] = counts.get(node.switch, 0) + 1
+        return max(counts.values()) if counts else 0
+
+    # ----------------------------------------------------- reference path tools
+
+    def trace_traffic_path(self, path: Sequence[str]) -> Optional[List[PGNode]]:
+        """Map a traffic path ``[src, ..., dst]`` to the probe-direction PG walk.
+
+        Returns the list of PG nodes the corresponding probe would visit (from
+        the destination's probe-sending node to the source's virtual node), or
+        ``None`` if any hop is missing from the topology.  Used by tests and by
+        the reference optimal-path oracle.
+        """
+        if len(path) < 1:
+            return None
+        reversed_path = list(reversed(path))
+        dst = reversed_path[0]
+        if dst not in self.probe_sending_nodes:
+            return None
+        current = self.probe_sending_nodes[dst]
+        walk = [current]
+        for hop in reversed_path[1:]:
+            if not self.topology.has_link(current.switch, hop):
+                return None
+            next_states = tuple(
+                dfa.transition(state, hop) for dfa, state in zip(self.dfas, current.states))
+            current = PGNode(hop, next_states)
+            walk.append(current)
+        return walk
+
+    def traffic_path_acceptance(self, path: Sequence[str]) -> Optional[Dict[PathRegex, bool]]:
+        """Regex acceptance of a traffic path, computed through the automata."""
+        walk = self.trace_traffic_path(path)
+        if walk is None:
+            return None
+        return self.acceptance_by_regex(walk[-1])
+
+    # --------------------------------------------------------- tag minimisation
+
+    def minimize_tags(self) -> Dict[PGNode, PGNode]:
+        """Merge behaviourally equivalent virtual nodes of the same switch.
+
+        Two virtual nodes of the same switch are equivalent when they have the
+        same acceptance signature and, for every topology neighbour, their
+        successors are equivalent (a bisimulation over the PG).  Returns the
+        mapping from original node to representative and rebuilds the graph in
+        place.  Reduces the number of tags packets must carry (§6.1).
+        """
+        # Initial partition: (switch, acceptance signature).
+        block_of: Dict[PGNode, int] = {}
+        blocks: Dict[Tuple, int] = {}
+        for node in self.nodes:
+            key = (node.switch, self.acceptance(node))
+            if key not in blocks:
+                blocks[key] = len(blocks)
+            block_of[node] = blocks[key]
+
+        changed = True
+        while changed:
+            changed = False
+            signature_blocks: Dict[Tuple, int] = {}
+            new_block_of: Dict[PGNode, int] = {}
+            for node in self.nodes:
+                successor_signature = tuple(sorted(
+                    (succ.switch, block_of[succ]) for succ in self.out_edges[node]))
+                key = (block_of[node], successor_signature)
+                if key not in signature_blocks:
+                    signature_blocks[key] = len(signature_blocks)
+                new_block_of[node] = signature_blocks[key]
+            # Refinement only ever splits blocks, so it has converged exactly
+            # when the number of distinct blocks stops growing.
+            changed = len(set(new_block_of.values())) != len(set(block_of.values()))
+            block_of = new_block_of
+
+        # Pick one representative per block (the smallest state vector).
+        representative: Dict[int, PGNode] = {}
+        for node in sorted(self.nodes, key=lambda n: (n.switch, n.states)):
+            representative.setdefault(block_of[node], node)
+        mapping = {node: representative[block_of[node]] for node in self.nodes}
+
+        if all(mapping[node] == node for node in self.nodes):
+            return mapping
+
+        # Rebuild nodes/edges/probe-sending states under the mapping.
+        new_nodes: List[PGNode] = []
+        seen: Set[PGNode] = set()
+        for node in self.nodes:
+            rep = mapping[node]
+            if rep not in seen:
+                seen.add(rep)
+                new_nodes.append(rep)
+        new_out: Dict[PGNode, List[PGNode]] = {n: [] for n in new_nodes}
+        new_in: Dict[PGNode, List[PGNode]] = {n: [] for n in new_nodes}
+        for node, successors in self.out_edges.items():
+            rep = mapping[node]
+            for succ in successors:
+                succ_rep = mapping[succ]
+                if succ_rep not in new_out[rep]:
+                    new_out[rep].append(succ_rep)
+                    new_in[succ_rep].append(rep)
+        self.nodes = new_nodes
+        self._node_index = {n: i for i, n in enumerate(new_nodes)}
+        self.out_edges = new_out
+        self.in_edges = new_in
+        self.probe_sending_nodes = {
+            switch: mapping[node] for switch, node in self.probe_sending_nodes.items()}
+        self._assign_tags()
+        return mapping
+
+    def __repr__(self) -> str:
+        return (f"ProductGraph(nodes={self.num_nodes}, edges={self.num_edges}, "
+                f"regexes={len(self.regexes)})")
+
+
+def build_product_graph(
+    topology: Topology,
+    regexes: Sequence[PathRegex],
+    minimize_automata: bool = True,
+    minimize_tags: bool = True,
+) -> ProductGraph:
+    """Build the product graph of a topology and the policy's regexes.
+
+    The automata are built from the *reversed* regexes because probes travel
+    from destinations towards sources (§4.1).
+    """
+    alphabet = topology.switches
+    if not alphabet:
+        raise CompilationError("topology has no switches")
+    dfas = [dfa_from_regex(r.reverse(), alphabet, minimize=minimize_automata) for r in regexes]
+    graph = ProductGraph(topology, regexes, dfas)
+    graph.build()
+    if minimize_tags and regexes:
+        graph.minimize_tags()
+    return graph

@@ -1,0 +1,75 @@
+"""Experiment drivers reproducing every figure of the paper's evaluation."""
+
+from repro.experiments.ablations import (
+    AblationPoint,
+    run_flowlet_timeout_ablation,
+    run_probe_period_ablation,
+    run_tag_minimization_ablation,
+    run_versioning_ablation,
+)
+from repro.experiments.config import (
+    ExperimentConfig,
+    config_from_env,
+    default_config,
+    full_config,
+    quick_config,
+)
+from repro.experiments.failure_recovery import RecoveryResult, run_failure_recovery
+from repro.experiments.fct import (
+    FctPoint,
+    default_failed_link,
+    run_abilene_fct,
+    run_fattree_fct,
+    run_queue_cdf,
+)
+from repro.experiments.overhead import OverheadPoint, run_overhead_experiment
+from repro.experiments.runner import (
+    SimulationResult,
+    build_routing_system,
+    datacenter_policy,
+    run_simulation,
+    wan_policy,
+)
+from repro.experiments.scalability import (
+    FATTREE_SIZES,
+    RANDOM_SIZES,
+    ScalabilityPoint,
+    run_scalability_sweep,
+    scalability_policies,
+    waypoint_policy_for,
+)
+from repro.experiments import report
+
+__all__ = [
+    "ExperimentConfig",
+    "default_config",
+    "quick_config",
+    "full_config",
+    "config_from_env",
+    "ScalabilityPoint",
+    "run_scalability_sweep",
+    "scalability_policies",
+    "waypoint_policy_for",
+    "FATTREE_SIZES",
+    "RANDOM_SIZES",
+    "FctPoint",
+    "run_fattree_fct",
+    "run_abilene_fct",
+    "run_queue_cdf",
+    "default_failed_link",
+    "RecoveryResult",
+    "run_failure_recovery",
+    "OverheadPoint",
+    "run_overhead_experiment",
+    "AblationPoint",
+    "run_probe_period_ablation",
+    "run_flowlet_timeout_ablation",
+    "run_versioning_ablation",
+    "run_tag_minimization_ablation",
+    "SimulationResult",
+    "build_routing_system",
+    "run_simulation",
+    "datacenter_policy",
+    "wan_policy",
+    "report",
+]

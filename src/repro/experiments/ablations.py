@@ -1,0 +1,165 @@
+"""Ablation studies of Contra's design choices.
+
+These are not figures in the paper, but each corresponds to a refinement the
+design section argues for; DESIGN.md lists them as the extension experiments:
+
+* **probe period sweep** (§5.2) — too-short periods make slower paths look
+  permanently stale; too-long periods slow reaction to congestion;
+* **flowlet timeout sweep** (§5.3) — small timeouts reorder packets, large
+  timeouts pin flows to stale paths;
+* **versioned vs unversioned probes** (§5.1) — disabling version numbers
+  re-creates the loop hazard of a naive distance-vector protocol;
+* **tag minimisation** (§6.1/§6.2) — effect of the compiler optimisation on
+  the number of tags and on switch state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.compiler import CompileOptions, compile_policy
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.runner import datacenter_policy, run_simulation
+from repro.experiments.scalability import waypoint_policy_for
+from repro.protocol import ContraSystem
+from repro.topology.fattree import fattree
+from repro.workloads import distribution_by_name, generate_workload
+
+__all__ = [
+    "AblationPoint",
+    "run_probe_period_ablation",
+    "run_flowlet_timeout_ablation",
+    "run_versioning_ablation",
+    "run_tag_minimization_ablation",
+]
+
+
+@dataclass
+class AblationPoint:
+    """One ablation measurement."""
+
+    parameter: str
+    value: float
+    avg_fct_ms: float
+    loop_fraction: float
+    loop_detections: int
+    overhead_ratio: float
+    completed: int
+    flows: int
+
+
+def _fattree_workload(config: ExperimentConfig, load: float):
+    topology = fattree(config.fattree_k, capacity=config.host_capacity,
+                       oversubscription=config.oversubscription)
+    distribution = distribution_by_name("web_search", config.websearch_scale)
+    spec = generate_workload(topology, distribution, load=load,
+                             duration=config.workload_duration,
+                             host_capacity=config.host_capacity, seed=config.seed,
+                             start_after=config.warmup)
+    return topology, spec
+
+
+def _run(topology, spec, config: ExperimentConfig, system: ContraSystem,
+         parameter: str, value: float) -> AblationPoint:
+    result = run_simulation(topology, system, spec.flows, config,
+                            system_name="contra", load=spec.target_load,
+                            workload_name=spec.distribution_name)
+    summary = result.summary
+    return AblationPoint(
+        parameter=parameter,
+        value=value,
+        avg_fct_ms=summary["avg_fct_ms"],
+        loop_fraction=summary["loop_fraction"],
+        loop_detections=int(summary["loop_detections"]),
+        overhead_ratio=summary["overhead_ratio"],
+        completed=int(summary["completed_flows"]),
+        flows=int(summary["flows"]),
+    )
+
+
+def run_probe_period_ablation(
+    config: Optional[ExperimentConfig] = None,
+    periods: Sequence[float] = (0.128, 0.256, 0.512, 1.024),
+    load: float = 0.6,
+) -> List[AblationPoint]:
+    """FCT and overhead as a function of the probe period (§5.2)."""
+    config = config or default_config()
+    topology, spec = _fattree_workload(config, load)
+    compiled = compile_policy(datacenter_policy(), topology)
+    points = []
+    for period in periods:
+        system = ContraSystem(compiled, probe_period=period,
+                              flowlet_timeout=config.flowlet_timeout,
+                              failure_periods=config.failure_periods)
+        points.append(_run(topology, spec, config, system, "probe_period_ms", period))
+    return points
+
+
+def run_flowlet_timeout_ablation(
+    config: Optional[ExperimentConfig] = None,
+    timeouts: Sequence[float] = (0.05, 0.2, 0.8, 3.2),
+    load: float = 0.6,
+) -> List[AblationPoint]:
+    """FCT as a function of the flowlet timeout (§5.3)."""
+    config = config or default_config()
+    topology, spec = _fattree_workload(config, load)
+    compiled = compile_policy(datacenter_policy(), topology)
+    points = []
+    for timeout in timeouts:
+        system = ContraSystem(compiled, probe_period=config.probe_period,
+                              flowlet_timeout=timeout,
+                              failure_periods=config.failure_periods)
+        points.append(_run(topology, spec, config, system, "flowlet_timeout_ms", timeout))
+    return points
+
+
+def run_versioning_ablation(
+    config: Optional[ExperimentConfig] = None,
+    load: float = 0.6,
+) -> List[AblationPoint]:
+    """Versioned probes (§5.1) vs an unversioned distance-vector variant."""
+    config = config or default_config()
+    topology, spec = _fattree_workload(config, load)
+    compiled = compile_policy(datacenter_policy(), topology)
+    points = []
+    for use_versioning in (True, False):
+        system = ContraSystem(compiled, probe_period=config.probe_period,
+                              flowlet_timeout=config.flowlet_timeout,
+                              failure_periods=config.failure_periods,
+                              use_versioning=use_versioning)
+        points.append(_run(topology, spec, config, system,
+                           "use_versioning", 1.0 if use_versioning else 0.0))
+    return points
+
+
+@dataclass
+class TagMinimizationPoint:
+    """Compiler statistics with and without tag minimisation."""
+
+    minimize_tags: bool
+    pg_nodes: int
+    max_tags_per_switch: int
+    max_state_kb: float
+    compile_time_s: float
+
+
+def run_tag_minimization_ablation(sizes: Sequence[int] = (20, 125)) -> List[TagMinimizationPoint]:
+    """Effect of the tag-minimisation optimisation on a waypointing policy."""
+    from repro.topology.fattree import fattree_for_switch_count
+
+    points: List[TagMinimizationPoint] = []
+    for size in sizes:
+        topology = fattree_for_switch_count(size)
+        policy = waypoint_policy_for(topology)
+        for minimize_tags in (True, False):
+            options = CompileOptions(minimize_tags=minimize_tags)
+            compiled = compile_policy(policy, topology, options)
+            points.append(TagMinimizationPoint(
+                minimize_tags=minimize_tags,
+                pg_nodes=compiled.product_graph.num_nodes,
+                max_tags_per_switch=compiled.product_graph.max_tags_per_switch(),
+                max_state_kb=compiled.max_state_kb(),
+                compile_time_s=compiled.compile_time,
+            ))
+    return points

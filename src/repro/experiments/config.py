@@ -1,0 +1,94 @@
+"""Shared experiment configuration.
+
+Every evaluation experiment uses the same scaled simulation regime (DESIGN.md
+§4): link capacities in packets/ms, flow sizes drawn from scaled empirical
+CDFs, and a probe period of 0.256 ms (the paper's 256 µs).  The defaults here
+reproduce the figure shapes in a few minutes on a laptop; the ``quick`` preset
+shrinks durations for CI/benchmark runs and ``full`` enlarges them for closer
+statistics.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Sequence, Tuple
+
+__all__ = ["ExperimentConfig", "default_config", "quick_config", "full_config", "config_from_env"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by the FCT / overhead / failure experiments."""
+
+    # Topology scale.
+    fattree_k: int = 4
+    host_capacity: float = 100.0              # packets per ms
+    oversubscription: float = 4.0             # paper §6.3 uses 4:1
+    abilene_capacity: float = 100.0
+    #: Offered rate per Abilene sender host (packets/ms); below the backbone
+    #: capacity so that the aggregate demand is routable, mirroring the
+    #: paper's 10 Gbps hosts on a 40 Gbps backbone.
+    abilene_host_rate: float = 50.0
+
+    # Transport / switch parameters.
+    buffer_packets: int = 500                 # paper: 1000 MSS; scaled regime uses 500
+    host_window: int = 16
+    host_rto: float = 5.0
+    util_window: float = 0.5
+
+    # Protocol parameters (paper §6.3).
+    probe_period: float = 0.256               # ms (256 us)
+    flowlet_timeout: float = 0.2              # ms (200 us)
+    failure_periods: int = 3
+
+    # Workload parameters.
+    websearch_scale: float = 0.1
+    cache_scale: float = 0.25
+    workload_duration: float = 30.0           # ms of flow arrivals
+    run_duration: float = 90.0                # ms of simulation
+    #: Delay before the first flow arrives, giving the routing protocol a few
+    #: probe periods to converge (the paper measures steady-state FCT).
+    warmup: float = 2.0
+    seed: int = 1
+
+    # Sweep points (paper sweeps 10..90%).
+    loads: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 0.9)
+
+    def scaled(self, duration_factor: float, loads: Optional[Sequence[float]] = None
+               ) -> "ExperimentConfig":
+        """A copy with durations scaled and (optionally) different load points."""
+        return replace(
+            self,
+            workload_duration=self.workload_duration * duration_factor,
+            run_duration=self.run_duration * duration_factor,
+            loads=tuple(loads) if loads is not None else self.loads,
+        )
+
+
+def default_config() -> ExperimentConfig:
+    """The standard configuration used by EXPERIMENTS.md."""
+    return ExperimentConfig()
+
+
+def quick_config() -> ExperimentConfig:
+    """A fast preset for CI and pytest-benchmark runs (minutes, not tens of minutes)."""
+    return ExperimentConfig().scaled(0.4, loads=(0.4, 0.8))
+
+
+def full_config() -> ExperimentConfig:
+    """A slower preset with the paper's full load sweep."""
+    return ExperimentConfig(loads=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)).scaled(1.5)
+
+
+def config_from_env() -> ExperimentConfig:
+    """Pick a preset via the ``CONTRA_EXPERIMENT_PRESET`` environment variable.
+
+    Recognised values: ``quick`` (default for benchmarks), ``default``, ``full``.
+    """
+    preset = os.environ.get("CONTRA_EXPERIMENT_PRESET", "quick").lower()
+    if preset == "full":
+        return full_config()
+    if preset == "default":
+        return default_config()
+    return quick_config()

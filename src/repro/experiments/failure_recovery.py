@@ -1,0 +1,141 @@
+"""Failure recovery experiment (Figure 14).
+
+The paper sends constant-rate UDP traffic across a fat-tree, fails an
+aggregation–core link mid-run, and plots the aggregate received throughput
+over time: both Contra and Hula detect the failure within a few probe periods
+and recover the throughput within about a millisecond.
+
+:func:`run_failure_recovery` reproduces that timeline for any of the
+probe-driven systems and also reports the measured detection and recovery
+delays so EXPERIMENTS.md can compare them against the paper's 800 µs / 1 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.compiler import compile_policy
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.fct import default_failed_link
+from repro.experiments.runner import build_routing_system, datacenter_policy
+from repro.simulator import Network
+from repro.topology.fattree import fattree
+
+__all__ = ["RecoveryResult", "run_failure_recovery"]
+
+
+@dataclass
+class RecoveryResult:
+    """Throughput timeline around a link failure for one routing system."""
+
+    system: str
+    failure_time: float
+    #: (time ms, delivered packets/ms) series, one entry per millisecond bin.
+    throughput: List[Tuple[float, float]]
+    baseline_rate: float
+    #: Time (ms after failure) of the first throughput bin showing a loss of
+    #: more than max(1 packet/ms, 5%) versus the pre-failure rate; NaN if the
+    #: failure never produced a visible dip.
+    dip_delay: float
+    #: Time (ms after failure) of the first later bin back above that
+    #: threshold; NaN if throughput never recovered within the run.
+    recovery_delay: float
+    failure_detections: int
+
+    @property
+    def recovered(self) -> bool:
+        return not np.isnan(self.recovery_delay)
+
+
+def run_failure_recovery(
+    config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("contra", "hula"),
+    stream_rate: Optional[float] = None,
+    failure_time: float = 30.0,
+    run_duration: float = 60.0,
+    streams_per_pair: int = 1,
+) -> Dict[str, RecoveryResult]:
+    """Run the Figure 14 experiment for each requested system."""
+    config = config or default_config()
+    topology = fattree(config.fattree_k, capacity=config.host_capacity,
+                       oversubscription=config.oversubscription)
+    failed_link = default_failed_link(topology)
+    compiled = compile_policy(datacenter_policy(), topology)
+    if stream_rate is None:
+        # The paper sends a stable 4.25 Gbps over a fabric with ample headroom:
+        # rerouting around the failed link must be able to restore the full
+        # rate even if the rerouted flowlets concentrate on one core link.
+        # 6% of the host capacity per stream makes the dip visible (the
+        # streams crossing the failed link lose several packets during the
+        # detection window) while guaranteeing that the rerouted traffic fits
+        # on the remaining core links of the 4:1 scaled fabric even if every
+        # affected flowlet lands on the same one.
+        stream_rate = 0.06 * config.host_capacity
+
+    hosts = topology.hosts
+    half = len(hosts) // 2
+    pairs = list(zip(hosts[:half], hosts[half:]))
+
+    results: Dict[str, RecoveryResult] = {}
+    for system_name in systems:
+        from repro.simulator import StatsCollector
+
+        system = build_routing_system(system_name, topology, config, compiled=compiled)
+        network = Network(
+            topology, system,
+            buffer_packets=config.buffer_packets,
+            host_window=config.host_window,
+            host_rto=config.host_rto,
+            util_window=config.util_window,
+            stats=StatsCollector(throughput_bin_ms=1.0),
+        )
+        network.fail_link(failed_link[0], failed_link[1], at_time=failure_time)
+
+        def start_streams() -> None:
+            for src, dst in pairs:
+                for _ in range(streams_per_pair):
+                    network.hosts[src].start_constant_stream(dst, stream_rate, run_duration)
+
+        network.sim.schedule_at(0.5, start_streams)
+        stats = network.run(run_duration)
+        series = stats.throughput_series()
+        results[system_name] = _analyse(system_name, series, failure_time,
+                                        stats.failure_detections)
+    return results
+
+
+def _analyse(system: str, series: List[Tuple[float, float]], failure_time: float,
+             failure_detections: int) -> RecoveryResult:
+    if not series:
+        return RecoveryResult(system, failure_time, [], 0.0, float("nan"), float("nan"),
+                              failure_detections)
+    before = [rate for time, rate in series if 5.0 <= time < failure_time - 1.0]
+    baseline = float(np.mean(before)) if before else 0.0
+    # A dip is any bin losing more than one packet/ms (or 5%, whichever is
+    # larger) relative to the pre-failure rate; recovery is the first later
+    # bin back above that threshold.
+    threshold = baseline - max(1.0, 0.05 * baseline)
+
+    dip_delay = float("nan")
+    recovery_delay = float("nan")
+    dipped = False
+    for time, rate in series:
+        if time < failure_time:
+            continue
+        if not dipped and rate < threshold:
+            dipped = True
+            dip_delay = time - failure_time
+        elif dipped and rate >= threshold and np.isnan(recovery_delay):
+            recovery_delay = time - failure_time
+    return RecoveryResult(
+        system=system,
+        failure_time=failure_time,
+        throughput=series,
+        baseline_rate=baseline,
+        dip_delay=dip_delay,
+        recovery_delay=recovery_delay,
+        failure_detections=failure_detections,
+    )

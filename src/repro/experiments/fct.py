@@ -1,0 +1,217 @@
+"""Flow-completion-time experiments (Figures 11, 12, 13 and 15).
+
+* :func:`run_fattree_fct` — symmetric fat-tree, ECMP vs Contra vs Hula over
+  the web-search and cache workloads as load sweeps (Figure 11); passing a
+  failed aggregation–core link reproduces the asymmetric variant (Figure 12).
+* :func:`run_queue_cdf` — queue-length CDF of Contra vs ECMP at 60% load on
+  the asymmetric fat-tree (Figure 13).
+* :func:`run_abilene_fct` — shortest-path vs Contra(MU) vs SPAIN on Abilene
+  with four random sender/receiver pairs (Figure 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.compiler import compile_policy
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.runner import (
+    SimulationResult,
+    build_routing_system,
+    datacenter_policy,
+    run_simulation,
+    wan_policy,
+)
+from repro.topology.abilene import abilene
+from repro.topology.fattree import fattree
+from repro.topology.graph import Topology
+from repro.workloads import distribution_by_name, generate_workload, random_pairs
+
+__all__ = [
+    "FctPoint",
+    "default_failed_link",
+    "run_fattree_fct",
+    "run_abilene_fct",
+    "run_queue_cdf",
+]
+
+
+@dataclass
+class FctPoint:
+    """One (workload, load, system) measurement."""
+
+    workload: str
+    load: float
+    system: str
+    avg_fct_ms: float
+    p99_fct_ms: float
+    completed: int
+    flows: int
+    drops: int
+    overhead_ratio: float
+    loop_fraction: float
+
+
+def default_failed_link(topology: Topology) -> Tuple[str, str]:
+    """The aggregation–core link failed in the asymmetric experiments (§6.3)."""
+    for agg in topology.switches_with_role("aggregation"):
+        for neighbor in topology.switch_neighbors(agg):
+            if topology.node_role(neighbor) == "core":
+                return (agg, neighbor)
+    raise ValueError("topology has no aggregation-core link to fail")
+
+
+def _workload_scale(config: ExperimentConfig, name: str) -> float:
+    return config.websearch_scale if name == "web_search" else config.cache_scale
+
+
+#: Default sender/receiver city pairs for the Abilene experiment.  The paper
+#: picks four random pairs; we fix four pairs whose shortest paths all collide
+#: on the IPL–CHI link while the backbone still has spare capacity on the
+#: ATL–WDC–NYC side.  Static shortest-path routing therefore congests a single
+#: link, SPAIN's pre-computed path sets spread some of the load, and Contra's
+#: utilization-aware routing spreads it dynamically — the Figure 15 contrast.
+ABILENE_DEFAULT_PAIRS = (
+    ("DEN", "NYC"),
+    ("KSC", "NYC"),
+    ("HOU", "CHI"),
+    ("ATL", "CHI"),
+)
+
+
+def abilene_pairs(topology: Topology, pairs: int) -> Tuple[List[str], List[str]]:
+    """Sender/receiver hosts for the Figure 15 experiment (coast-to-coast)."""
+    chosen = ABILENE_DEFAULT_PAIRS[:pairs]
+    if len(chosen) < pairs:
+        raise ValueError(f"at most {len(ABILENE_DEFAULT_PAIRS)} default Abilene pairs exist")
+    senders = [topology.hosts_of_switch(src)[0] for src, _ in chosen]
+    receivers = [topology.hosts_of_switch(dst)[0] for _, dst in chosen]
+    return senders, receivers
+
+
+def run_fattree_fct(
+    config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("ecmp", "contra", "hula"),
+    workloads: Sequence[str] = ("web_search", "cache"),
+    loads: Optional[Sequence[float]] = None,
+    asymmetric: bool = False,
+) -> List[FctPoint]:
+    """The Figure 11 (symmetric) / Figure 12 (asymmetric) sweep."""
+    config = config or default_config()
+    loads = tuple(loads) if loads is not None else config.loads
+    topology = fattree(config.fattree_k, capacity=config.host_capacity,
+                       oversubscription=config.oversubscription)
+    failed_link = default_failed_link(topology) if asymmetric else None
+    compiled = compile_policy(datacenter_policy(), topology)
+
+    results: List[FctPoint] = []
+    for workload_name in workloads:
+        distribution = distribution_by_name(workload_name, _workload_scale(config, workload_name))
+        for load in loads:
+            spec = generate_workload(
+                topology, distribution, load=load,
+                duration=config.workload_duration,
+                host_capacity=config.host_capacity,
+                seed=config.seed,
+                start_after=config.warmup,
+            )
+            for system_name in systems:
+                system = build_routing_system(system_name, topology, config, compiled=compiled)
+                result = run_simulation(
+                    topology, system, spec.flows, config,
+                    failed_link=failed_link,
+                    system_name=system_name, load=load, workload_name=workload_name,
+                )
+                results.append(_to_point(result))
+    return results
+
+
+def run_abilene_fct(
+    config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("shortest-path", "contra", "spain"),
+    workloads: Sequence[str] = ("web_search", "cache"),
+    loads: Optional[Sequence[float]] = None,
+    pairs: int = 4,
+) -> List[FctPoint]:
+    """The Figure 15 sweep on the Abilene topology."""
+    config = config or default_config()
+    loads = tuple(loads) if loads is not None else config.loads
+    topology = abilene(capacity=config.abilene_capacity, hosts_per_switch=1)
+    senders, receivers = abilene_pairs(topology, pairs)
+    compiled = compile_policy(wan_policy(), topology)
+    # A WAN's best (least-utilized) paths can be much longer in propagation
+    # delay than its shortest paths, so the probe period must respect the
+    # compiler's RTT-derived bound (§5.2) rather than the datacenter default.
+    from dataclasses import replace as _replace
+    config = _replace(config, probe_period=max(config.probe_period, compiled.probe_period))
+
+    results: List[FctPoint] = []
+    for workload_name in workloads:
+        distribution = distribution_by_name(workload_name, _workload_scale(config, workload_name))
+        for load in loads:
+            spec = generate_workload(
+                topology, distribution, load=load,
+                duration=config.workload_duration,
+                host_capacity=config.abilene_host_rate,
+                seed=config.seed,
+                senders=senders, receivers=receivers,
+                pair_senders_receivers=True,
+                start_after=config.warmup,
+            )
+            for system_name in systems:
+                system = build_routing_system(system_name, topology, config, compiled=compiled)
+                result = run_simulation(
+                    topology, system, spec.flows, config,
+                    system_name=system_name, load=load, workload_name=workload_name,
+                )
+                results.append(_to_point(result))
+    return results
+
+
+def run_queue_cdf(
+    config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("ecmp", "contra"),
+    load: float = 0.6,
+    workload: str = "web_search",
+    cdf_points: Sequence[float] = (0.5, 0.75, 0.9, 0.95, 0.99, 1.0),
+) -> Dict[str, Dict[float, float]]:
+    """The Figure 13 queue-length CDF comparison (asymmetric fat-tree, 60% load)."""
+    config = config or default_config()
+    topology = fattree(config.fattree_k, capacity=config.host_capacity,
+                       oversubscription=config.oversubscription)
+    failed_link = default_failed_link(topology)
+    compiled = compile_policy(datacenter_policy(), topology)
+    distribution = distribution_by_name(workload, _workload_scale(config, workload))
+    spec = generate_workload(
+        topology, distribution, load=load,
+        duration=config.workload_duration,
+        host_capacity=config.host_capacity,
+        seed=config.seed,
+        start_after=config.warmup,
+    )
+
+    cdfs: Dict[str, Dict[float, float]] = {}
+    for system_name in systems:
+        system = build_routing_system(system_name, topology, config, compiled=compiled)
+        result = run_simulation(topology, system, spec.flows, config,
+                                failed_link=failed_link,
+                                system_name=system_name, load=load, workload_name=workload)
+        cdfs[system_name] = result.stats.queue_length_cdf(cdf_points)
+    return cdfs
+
+
+def _to_point(result: SimulationResult) -> FctPoint:
+    summary = result.summary
+    return FctPoint(
+        workload=result.workload,
+        load=result.load,
+        system=result.system,
+        avg_fct_ms=summary["avg_fct_ms"],
+        p99_fct_ms=summary["p99_fct_ms"],
+        completed=int(summary["completed_flows"]),
+        flows=int(summary["flows"]),
+        drops=int(summary["drops"]),
+        overhead_ratio=summary["overhead_ratio"],
+        loop_fraction=summary["loop_fraction"],
+    )

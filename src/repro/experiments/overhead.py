@@ -1,0 +1,123 @@
+"""Traffic-overhead experiment (Figure 16 and the §6.5 loop measurement).
+
+Figure 16 reports, for 10% and 60% load under both workloads, the total
+traffic each system places on the wire normalised by ECMP.  Contra's extra
+traffic comes from probes and per-packet tags; Hula's from its (smaller)
+probes.  §6.5 additionally reports the fraction of traffic that experienced a
+transient loop under the MU policy.
+
+Because the simulator runs with scaled-down link capacities (DESIGN.md §4),
+the *raw* probe-to-data ratio is inflated by the capacity scale: probes are
+sent per real-time probe period while the links carry roughly two orders of
+magnitude less data than 10 Gbps hardware would in the same period.  The
+driver therefore reports both the raw ratio and a capacity-corrected ratio
+(probe bytes divided by ``capacity_scale``), and EXPERIMENTS.md quotes the
+corrected number next to the paper's 0.79%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.compiler import compile_policy
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.runner import build_routing_system, datacenter_policy, run_simulation
+from repro.topology.fattree import fattree
+from repro.workloads import distribution_by_name, generate_workload
+
+__all__ = ["OverheadPoint", "run_overhead_experiment", "DEFAULT_CAPACITY_SCALE"]
+
+#: Ratio between the paper's 10 Gbps links (~833 full packets per ms) and the
+#: simulator's default 100 packets/ms hosts — the factor by which the scaled
+#: simulation under-represents data bytes per probe period.
+DEFAULT_CAPACITY_SCALE = 8.33
+
+
+@dataclass
+class OverheadPoint:
+    """Traffic accounting for one (workload, load, system) run."""
+
+    workload: str
+    load: float
+    system: str
+    data_bytes: float
+    ack_bytes: float
+    probe_bytes: float
+    tag_bytes: float
+    total_bytes: float
+    #: traffic inflation factor (data+ack+control)/(data+ack); equals the
+    #: paper's "normalised by ECMP" because ECMP carries no control traffic.
+    normalized_vs_ecmp: float
+    #: same, after dividing control bytes by the capacity scale (DESIGN.md §4).
+    normalized_vs_ecmp_scaled: float
+    loop_fraction: float
+
+
+def run_overhead_experiment(
+    config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("ecmp", "hula", "contra"),
+    workloads: Sequence[str] = ("web_search", "cache"),
+    loads: Sequence[float] = (0.1, 0.6),
+    capacity_scale: float = DEFAULT_CAPACITY_SCALE,
+) -> List[OverheadPoint]:
+    """Measure the Figure 16 traffic overhead table."""
+    config = config or default_config()
+    topology = fattree(config.fattree_k, capacity=config.host_capacity,
+                       oversubscription=config.oversubscription)
+    compiled = compile_policy(datacenter_policy(), topology)
+
+    points: List[OverheadPoint] = []
+    for workload_name in workloads:
+        scale = config.websearch_scale if workload_name == "web_search" else config.cache_scale
+        distribution = distribution_by_name(workload_name, scale)
+        for load in loads:
+            spec = generate_workload(
+                topology, distribution, load=load,
+                duration=config.workload_duration,
+                host_capacity=config.host_capacity,
+                seed=config.seed,
+                start_after=config.warmup,
+            )
+            raw: Dict[str, Dict[str, float]] = {}
+            for system_name in systems:
+                system = build_routing_system(system_name, topology, config, compiled=compiled)
+                result = run_simulation(topology, system, spec.flows, config,
+                                        system_name=system_name, load=load,
+                                        workload_name=workload_name,
+                                        record_paths=True)
+                stats = result.stats
+                raw[system_name] = {
+                    "data": stats.data_bytes,
+                    "ack": stats.ack_bytes,
+                    "probe": stats.probe_bytes,
+                    "tag": stats.tag_overhead_bytes,
+                    "loops": stats.loop_fraction(),
+                }
+
+            for system_name in systems:
+                entry = raw[system_name]
+                control = entry["probe"] + entry["tag"]
+                goodput = entry["data"] + entry["ack"]
+                total = goodput + control
+                scaled_total = goodput + control / capacity_scale
+                # The paper normalises each system's total traffic by ECMP's.
+                # In its testbed every system transmits (essentially) the same
+                # data volume, so that equals the per-system inflation factor
+                # total/(data+ack); we report the inflation factor directly so
+                # that retransmission-volume differences between transports do
+                # not contaminate the control-overhead comparison.
+                points.append(OverheadPoint(
+                    workload=workload_name,
+                    load=load,
+                    system=system_name,
+                    data_bytes=entry["data"],
+                    ack_bytes=entry["ack"],
+                    probe_bytes=entry["probe"],
+                    tag_bytes=entry["tag"],
+                    total_bytes=total,
+                    normalized_vs_ecmp=total / goodput if goodput else 1.0,
+                    normalized_vs_ecmp_scaled=scaled_total / goodput if goodput else 1.0,
+                    loop_fraction=entry["loops"],
+                ))
+    return points

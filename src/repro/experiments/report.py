@@ -1,0 +1,102 @@
+"""Textual report formatting.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers format experiment results as aligned text tables so that benchmark
+output, EXPERIMENTS.md and the CLI all show identical content.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = [
+    "format_table",
+    "format_scalability",
+    "format_fct",
+    "format_queue_cdf",
+    "format_recovery",
+    "format_overhead",
+    "format_ablation",
+]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned, pipe-separated text table."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_scalability(points, title: str = "Figure 9/10: compiler scalability") -> str:
+    rows = [(p.family, p.size, p.actual_switches, p.policy, p.compile_time_s,
+             p.max_state_kb, p.pg_nodes, p.num_probe_ids) for p in points]
+    return format_table(
+        ("family", "size", "switches", "policy", "compile_s", "state_kB", "pg_nodes", "pids"),
+        rows, title=title)
+
+
+def format_fct(points, title: str = "Average flow completion time (ms)") -> str:
+    rows = [(p.workload, f"{int(p.load * 100)}%", p.system, p.avg_fct_ms, p.p99_fct_ms,
+             f"{p.completed}/{p.flows}", p.drops, p.loop_fraction) for p in points]
+    return format_table(
+        ("workload", "load", "system", "avg_fct_ms", "p99_fct_ms", "completed", "drops", "loops"),
+        rows, title=title)
+
+
+def format_queue_cdf(cdfs: Mapping[str, Mapping[float, float]],
+                     title: str = "Figure 13: queue length CDF (packets)") -> str:
+    points = sorted(next(iter(cdfs.values())).keys()) if cdfs else []
+    headers = ["system"] + [f"p{int(p * 100)}" for p in points]
+    rows = [[system] + [cdf[p] for p in points] for system, cdf in cdfs.items()]
+    return format_table(headers, rows, title=title)
+
+
+def format_recovery(results: Mapping[str, object],
+                    title: str = "Figure 14: link-failure recovery") -> str:
+    rows = []
+    for system, result in results.items():
+        rows.append((system, result.baseline_rate, result.dip_delay,
+                     result.recovery_delay, result.failure_detections))
+    return format_table(
+        ("system", "baseline_rate", "dip_after_ms", "recovered_after_ms", "failure_detections"),
+        rows, title=title)
+
+
+def format_overhead(points, title: str = "Figure 16: traffic overhead (normalized to ECMP)") -> str:
+    rows = [(p.workload, f"{int(p.load * 100)}%", p.system, p.normalized_vs_ecmp,
+             p.normalized_vs_ecmp_scaled, p.probe_bytes, p.tag_bytes, p.loop_fraction)
+            for p in points]
+    return format_table(
+        ("workload", "load", "system", "norm_raw", "norm_scaled", "probe_B", "tag_B", "loops"),
+        rows, title=title)
+
+
+def format_ablation(points, title: str = "Ablation") -> str:
+    rows = [(p.parameter, p.value, p.avg_fct_ms, p.loop_fraction, p.loop_detections,
+             p.overhead_ratio, f"{p.completed}/{p.flows}") for p in points]
+    return format_table(
+        ("parameter", "value", "avg_fct_ms", "loop_frac", "loop_det", "overhead", "completed"),
+        rows, title=title)

@@ -1,0 +1,145 @@
+"""Common machinery for the evaluation experiments.
+
+:func:`build_routing_system` turns a system name (``ecmp``, ``hula``,
+``contra``, ``spain``, ``shortest-path``) plus an experiment configuration into
+a ready :class:`~repro.simulator.network.RoutingSystem`; :func:`run_simulation`
+wires a network, injects the workload and optional failures, runs it and
+returns the statistics summary.  Every experiment driver builds on these two
+functions so that all systems are compared under identical conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines import EcmpSystem, HulaSystem, ShortestPathSystem, SpainSystem
+from repro.core.ast import Policy
+from repro.core.builder import minimize, path, rank_tuple
+from repro.core.compiler import CompiledPolicy, compile_policy
+from repro.exceptions import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.protocol import ContraSystem
+from repro.simulator import Network, StatsCollector
+from repro.simulator.flow import Flow
+from repro.topology.graph import Topology
+from repro.workloads import EmpiricalCDF, WorkloadSpec, generate_workload
+
+__all__ = [
+    "SimulationResult",
+    "datacenter_policy",
+    "wan_policy",
+    "build_routing_system",
+    "run_simulation",
+    "SYSTEM_NAMES",
+]
+
+SYSTEM_NAMES = ("ecmp", "hula", "contra", "spain", "shortest-path")
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    system: str
+    load: float
+    workload: str
+    summary: Dict[str, float]
+    stats: StatsCollector
+    network: Network
+
+    @property
+    def avg_fct(self) -> float:
+        return self.summary["avg_fct_ms"]
+
+
+def datacenter_policy() -> Policy:
+    """The policy Contra runs in the fat-tree FCT experiments.
+
+    The paper's datacenter comparison uses the least-utilized *shortest* path
+    (§6.3 explains Contra carries path length as well as utilization there),
+    i.e. ``minimize((path.len, path.util))``.
+    """
+    return minimize(rank_tuple(path.len, path.util), name="MU-datacenter")
+
+
+def wan_policy() -> Policy:
+    """The minimum-utilization policy used on Abilene (Figure 15, "Contra (MU)").
+
+    Unlike the datacenter policy this is the pure bottleneck-utilization
+    objective: on a WAN the whole point is that Contra may take longer detours
+    around congested links, which neither shortest-path routing nor SPAIN's
+    static path sets can do.
+    """
+    return minimize(path.util, name="MU-wan")
+
+
+def build_routing_system(
+    name: str,
+    topology: Topology,
+    config: ExperimentConfig,
+    policy: Optional[Policy] = None,
+    compiled: Optional[CompiledPolicy] = None,
+):
+    """Instantiate one routing system by name under the shared configuration."""
+    name = name.lower()
+    if name == "ecmp":
+        return EcmpSystem()
+    if name == "shortest-path":
+        return ShortestPathSystem()
+    if name == "spain":
+        return SpainSystem()
+    if name == "hula":
+        return HulaSystem(
+            probe_period=config.probe_period,
+            flowlet_timeout=config.flowlet_timeout,
+            failure_periods=config.failure_periods,
+        )
+    if name == "contra":
+        if compiled is None:
+            compiled = compile_policy(policy if policy is not None else datacenter_policy(),
+                                      topology)
+        return ContraSystem(
+            compiled,
+            probe_period=config.probe_period,
+            flowlet_timeout=config.flowlet_timeout,
+            failure_periods=config.failure_periods,
+        )
+    raise ExperimentError(f"unknown routing system {name!r}; available: {SYSTEM_NAMES}")
+
+
+def run_simulation(
+    topology: Topology,
+    system,
+    flows: Sequence[Flow],
+    config: ExperimentConfig,
+    run_duration: Optional[float] = None,
+    failed_link: Optional[Tuple[str, str]] = None,
+    failure_time: float = 0.0,
+    system_name: str = "",
+    load: float = 0.0,
+    workload_name: str = "",
+    record_paths: bool = False,
+) -> SimulationResult:
+    """Run one simulation with the shared transport/switch parameters."""
+    network = Network(
+        topology,
+        system,
+        buffer_packets=config.buffer_packets,
+        host_window=config.host_window,
+        host_rto=config.host_rto,
+        util_window=config.util_window,
+        stats=StatsCollector(record_paths=record_paths),
+    )
+    network.schedule_flows(flows)
+    if failed_link is not None:
+        network.fail_link(failed_link[0], failed_link[1], at_time=failure_time)
+    stats = network.run(run_duration if run_duration is not None else config.run_duration)
+    return SimulationResult(
+        system=system_name or getattr(system, "name", type(system).__name__),
+        load=load,
+        workload=workload_name,
+        summary=stats.summary(),
+        stats=stats,
+        network=network,
+    )

@@ -1,0 +1,28 @@
+"""Contra protocol runtime: the behaviour of the synthesized per-switch programs."""
+
+from repro.protocol.contra_switch import ContraRouting, ContraSystem
+from repro.protocol.probe import ProbePayload, make_probe_packet, payload_from_packet
+from repro.protocol.tables import (
+    BestChoiceTable,
+    FlowletEntry,
+    FlowletTable,
+    ForwardingEntry,
+    ForwardingTable,
+    FwdKey,
+    LoopDetectionTable,
+)
+
+__all__ = [
+    "ContraSystem",
+    "ContraRouting",
+    "ProbePayload",
+    "make_probe_packet",
+    "payload_from_packet",
+    "ForwardingTable",
+    "ForwardingEntry",
+    "FwdKey",
+    "BestChoiceTable",
+    "FlowletTable",
+    "FlowletEntry",
+    "LoopDetectionTable",
+]

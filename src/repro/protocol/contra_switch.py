@@ -1,0 +1,369 @@
+"""The Contra data-plane runtime: the behaviour of the synthesized switch programs.
+
+:class:`ContraSystem` installs one :class:`ContraRouting` instance per switch,
+each interpreting the switch's compiled :class:`~repro.core.device_config
+.DeviceConfig`.  Together they implement the full protocol of §4–§5:
+
+* periodic, versioned probes multicast along product-graph edges,
+* FwdT/BestT maintenance with the ``f``/``s`` ranking split of Figure 7,
+* policy-aware flowlet switching (§5.3),
+* TTL-delta loop detection and flowlet flushing (§5.5), and
+* failure detection by probe silence plus metric expiration (§5.4).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.analysis.decomposition import SubPolicy
+from repro.core.ast import PathContext
+from repro.core.compiler import CompiledPolicy
+from repro.core.device_config import DeviceConfig
+from repro.core.rank import INFINITY, Rank
+from repro.exceptions import SimulationError
+from repro.protocol.probe import ProbePayload, make_probe_packet, payload_from_packet
+from repro.protocol.tables import (
+    BestChoiceTable,
+    ForwardingEntry,
+    ForwardingTable,
+    FlowletTable,
+    FwdKey,
+    LoopDetectionTable,
+)
+from repro.simulator.network import Network, RoutingSystem
+from repro.simulator.packet import Packet
+from repro.simulator.switchnode import RoutingLogic, SwitchNode
+
+__all__ = ["ContraSystem", "ContraRouting"]
+
+
+class ContraSystem(RoutingSystem):
+    """Routing system that deploys a compiled Contra policy on every switch."""
+
+    name = "contra"
+
+    def __init__(
+        self,
+        compiled: CompiledPolicy,
+        probe_period: Optional[float] = None,
+        flowlet_timeout: float = 0.2,
+        failure_periods: int = 3,
+        loop_threshold: int = 4,
+        probe_all_switches: bool = False,
+        split_horizon: bool = True,
+        use_versioning: bool = True,
+    ):
+        self.compiled = compiled
+        self.probe_period = probe_period if probe_period is not None else compiled.probe_period
+        if self.probe_period <= 0:
+            raise SimulationError("probe period must be positive")
+        self.flowlet_timeout = flowlet_timeout
+        self.failure_periods = failure_periods
+        self.loop_threshold = loop_threshold
+        self.probe_all_switches = probe_all_switches
+        self.split_horizon = split_horizon
+        #: §5.1 refinement: versioned probes.  Disabling this reproduces the
+        #: persistent-loop hazard of an unversioned distance-vector protocol
+        #: and is exposed only for the ablation benchmark.
+        self.use_versioning = use_versioning
+        self._logics: Dict[str, "ContraRouting"] = {}
+
+    def create_switch_logic(self, switch: str) -> "ContraRouting":
+        logic = ContraRouting(self, self.compiled.device(switch))
+        self._logics[switch] = logic
+        return logic
+
+    def start(self, network: Network) -> None:
+        destinations = (network.topology.switches if self.probe_all_switches
+                        else network.destination_switches())
+        for switch in destinations:
+            self._logics[switch].start_probing()
+        for logic in self._logics.values():
+            logic.start_failure_detection()
+
+    def packet_header_bits(self) -> int:
+        configs = self.compiled.device_configs.values()
+        return max(cfg.packet_tag_bits() for cfg in configs) if configs else 0
+
+    def logic(self, switch: str) -> "ContraRouting":
+        return self._logics[switch]
+
+
+class ContraRouting(RoutingLogic):
+    """The per-switch program synthesized from the user policy."""
+
+    def __init__(self, system: ContraSystem, config: DeviceConfig):
+        self.system = system
+        self.config = config
+        self.compiled = system.compiled
+        self.subpolicies: List[SubPolicy] = list(self.compiled.decomposition.subpolicies)
+        if not self.subpolicies:
+            raise SimulationError("compiled policy has no subpolicies")
+
+        self.fwdt = ForwardingTable()
+        self.bestt = BestChoiceTable()
+        self.flowlets = FlowletTable(system.flowlet_timeout, slots=config.flowlet_slots)
+        self.loop_detector = LoopDetectionTable(
+            threshold=system.loop_threshold, slots=config.loop_table_slots)
+
+        self._version = 0
+        self._last_probe_from: Dict[str, float] = {}
+        self._believed_failed: Dict[str, bool] = {}
+        self._probe_bits = config.probe_bits()
+
+    # --------------------------------------------------------------- lifecycle
+
+    def attach(self, switch: SwitchNode, network: Network) -> None:
+        super().attach(switch, network)
+        now = 0.0
+        for neighbor in switch.switch_neighbors():
+            self._last_probe_from[neighbor] = now
+            self._believed_failed[neighbor] = False
+
+    def start_probing(self) -> None:
+        """Begin periodic probe origination (this switch is a traffic destination)."""
+        self.network.sim.schedule(0.0, self._probe_round)
+
+    def start_failure_detection(self) -> None:
+        period = self.system.probe_period
+        self.network.sim.schedule(period * self.system.failure_periods, self._failure_check)
+
+    # ----------------------------------------------------------------- probes
+
+    def _probe_round(self) -> None:
+        """INITPROBE: originate one probe per subpolicy and multicast it."""
+        self._version += 1
+        origin_tag = self.config.probe_origin_tag
+        for sub in self.subpolicies:
+            payload = ProbePayload(
+                origin=self.switch.name,
+                pid=sub.pid,
+                version=self._version,
+                tag=origin_tag,
+                metrics=sub.initial_metrics(),
+            )
+            self._multicast(payload, exclude=None)
+        self.network.sim.schedule(self.system.probe_period, self._probe_round)
+
+    def _multicast(self, payload: ProbePayload, exclude: Optional[str]) -> None:
+        """MULTICASTPROBE: send along all product-graph out-edges of the payload's tag."""
+        for neighbor in self.config.multicast_targets(payload.tag):
+            if exclude is not None and self.system.split_horizon and neighbor == exclude:
+                continue
+            if self._believed_failed.get(neighbor, False):
+                continue
+            packet = make_probe_packet(payload, self.switch.name, self._probe_bits)
+            self.switch.send_probe(packet, neighbor)
+
+    def on_probe(self, packet: Packet, inport: str) -> None:
+        """PROCESSPROBE (Figure 7) with the versioning refinement of §5.1."""
+        self._last_probe_from[inport] = self.network.sim.now
+        if self._believed_failed.get(inport, False):
+            self._believed_failed[inport] = False
+
+        payload = payload_from_packet(packet)
+        local_tag = self.config.next_tag_for_probe(inport, payload.tag)
+        if local_tag is None:
+            return  # no product-graph edge: the probe is policy-irrelevant here
+        if payload.origin == self.switch.name:
+            return  # probes never advertise a destination back to itself
+
+        # UPDATEMVEC: fold in the traffic-direction link (this switch -> inport).
+        metrics = payload.metrics.extend(self.switch.link_metrics(inport))
+        subpolicy = self.compiled.decomposition.subpolicy(payload.pid)
+        key: FwdKey = (payload.origin, local_tag, payload.pid)
+        entry = self.fwdt.lookup(key)
+
+        accept = False
+        if entry is None:
+            accept = True
+        elif not self.system.use_versioning:
+            # Ablation: unversioned distance-vector — accept purely on metric,
+            # plus staleness refresh so entries do not expire spuriously.
+            better = (subpolicy.propagation_rank(metrics)
+                      < subpolicy.propagation_rank(entry.metrics))
+            stale = self.network.sim.now - entry.updated_at > self.system.probe_period
+            accept = better or stale
+        elif payload.version > entry.version:
+            accept = True            # newer round always replaces stale state (DSDV/Babel)
+        elif payload.version == entry.version and (
+                subpolicy.propagation_rank(metrics) < subpolicy.propagation_rank(entry.metrics)):
+            accept = True            # same round: keep the better path under f(pid, mv)
+        if not accept:
+            return
+
+        self.fwdt.install(key, ForwardingEntry(
+            metrics=metrics,
+            next_tag=payload.tag,
+            next_hop=inport,
+            version=payload.version,
+            updated_at=self.network.sim.now,
+        ))
+        self._maybe_update_best(payload.origin, key, metrics)
+        self._multicast(payload.advanced(local_tag, metrics), exclude=inport)
+
+    # ------------------------------------------------------------ best choice
+
+    def _entry_rank(self, key: FwdKey, entry: ForwardingEntry) -> Rank:
+        """s(key): evaluate the full user policy on one FwdT entry."""
+        acceptance = self.config.acceptance_of(key[1])
+        ctx = PathContext((), entry.metrics.as_dict(), acceptance)
+        return self.compiled.policy.evaluate(ctx)
+
+    def _entry_valid(self, entry: ForwardingEntry) -> bool:
+        """An entry is stale if its probes stopped or its next hop is believed dead."""
+        if self._believed_failed.get(entry.next_hop, False):
+            return False
+        if self.switch.link_failed(entry.next_hop):
+            return False
+        max_age = self.system.probe_period * (self.system.failure_periods + 1)
+        return self.network.sim.now - entry.updated_at <= max_age
+
+    def _maybe_update_best(self, destination: str, key: FwdKey, metrics) -> None:
+        new_rank = self._entry_rank(key, self.fwdt.lookup(key))
+        current_key = self.bestt.get(destination)
+        if current_key is None:
+            if new_rank.is_finite:
+                self.bestt.set(destination, key)
+            return
+        current_entry = self.fwdt.lookup(current_key)
+        if current_entry is None or not self._entry_valid(current_entry):
+            if new_rank.is_finite:
+                self.bestt.set(destination, key)
+            return
+        current_rank = self._entry_rank(current_key, current_entry)
+        if new_rank < current_rank:
+            self.bestt.set(destination, key)
+
+    def _best_key(self, destination: str) -> Optional[FwdKey]:
+        """The best valid FwdT key for a destination, refreshing BestT if needed."""
+        key = self.bestt.get(destination)
+        if key is not None:
+            entry = self.fwdt.lookup(key)
+            if entry is not None and self._entry_valid(entry) and \
+                    self._entry_rank(key, entry).is_finite:
+                return key
+        return self._rescan_best(destination)
+
+    def _rescan_best(self, destination: str) -> Optional[FwdKey]:
+        best_key: Optional[FwdKey] = None
+        best_rank = INFINITY
+        for key, entry in self.fwdt.entries_for_destination(destination).items():
+            if not self._entry_valid(entry):
+                continue
+            rank = self._entry_rank(key, entry)
+            if rank < best_rank:
+                best_rank = rank
+                best_key = key
+        if best_key is not None:
+            self.bestt.set(destination, best_key)
+        else:
+            self.bestt.clear(destination)
+        return best_key
+
+    # -------------------------------------------------------------- forwarding
+
+    def on_data_packet(self, packet: Packet, inport: str) -> Optional[str]:
+        """SWIFORWARDPKT with policy-aware flowlet switching and loop breaking."""
+        destination = packet.dst_switch
+        from_host = not self.network.is_switch(inport)
+
+        if from_host or packet.tag is None:
+            best = self._best_key(destination)
+            if best is None:
+                return None
+            _, tag, pid = best
+            packet.tag = tag
+            packet.pid = pid
+            packet.extra_header_bits = self.config.packet_tag_bits()
+
+        fid = self.flowlets.flowlet_id(packet.flow_key())
+        now = self.network.sim.now
+
+        # Lazy loop breaking (§5.5): on suspicion, flush the flowlet pins so the
+        # next packet re-reads the freshest FwdT entry.
+        if self.loop_detector.observe(packet.flow_key(), packet.ttl, now):
+            flushed = self.flowlets.expire_flowlet_everywhere(fid)
+            self.network.stats.loop_detections += 1
+            self.network.stats.flowlet_expirations += flushed
+
+        pinned = self.flowlets.lookup(destination, packet.tag, packet.pid, fid, now)
+        if pinned is not None:
+            if self._usable_next_hop(pinned.next_hop):
+                self.flowlets.touch(pinned, now)
+                packet.tag = pinned.next_tag
+                return pinned.next_hop
+            # §5.4: expire flowlet entries whose next hop is along a failed link.
+            self.flowlets.expire(destination, packet.tag, packet.pid, fid)
+            self.network.stats.flowlet_expirations += 1
+
+        key: FwdKey = (destination, packet.tag, packet.pid)
+        entry = self.fwdt.lookup(key)
+        if entry is None or not self._entry_valid(entry) or \
+                not self._usable_next_hop(entry.next_hop):
+            # The constrained path for this tag is gone; only a source switch may
+            # legitimately re-tag the packet (policy compliance, §4.2).
+            if from_host:
+                best = self._rescan_best(destination)
+                if best is None:
+                    return None
+                _, tag, pid = best
+                packet.tag = tag
+                packet.pid = pid
+                key = (destination, tag, pid)
+                entry = self.fwdt.lookup(key)
+                if entry is None or not self._usable_next_hop(entry.next_hop):
+                    return None
+            else:
+                return None
+
+        self.flowlets.install(destination, key[1], key[2], fid,
+                              entry.next_hop, entry.next_tag, now)
+        packet.tag = entry.next_tag
+        return entry.next_hop
+
+    def _usable_next_hop(self, neighbor: str) -> bool:
+        return not self._believed_failed.get(neighbor, False) and \
+            not self.switch.link_failed(neighbor)
+
+    # ---------------------------------------------------------------- failures
+
+    def _failure_check(self) -> None:
+        """Mark neighbours silent for ``failure_periods`` probe periods as failed (§5.4)."""
+        now = self.network.sim.now
+        window = self.system.probe_period * self.system.failure_periods
+        for neighbor, last_seen in self._last_probe_from.items():
+            silent = now - last_seen > window
+            if silent and not self._believed_failed.get(neighbor, False):
+                self._believed_failed[neighbor] = True
+                self.network.stats.failure_detections += 1
+                expired = self.flowlets.expire_via(neighbor)
+                self.network.stats.flowlet_expirations += expired
+            elif not silent and self._believed_failed.get(neighbor, False):
+                self._believed_failed[neighbor] = False
+        self.network.sim.schedule(self.system.probe_period, self._failure_check)
+
+    def on_link_change(self, neighbor: str, failed: bool) -> None:
+        """React immediately to a simulator-signalled link event (optional fast path).
+
+        The protocol's own detection works purely by probe silence; this hook
+        merely lets experiments model switches with local link-down interrupts.
+        It is intentionally *not* used by default (the Figure 14 experiment
+        measures the probe-silence detection delay).
+        """
+
+    # ------------------------------------------------------------------ debug
+
+    def forwarding_snapshot(self) -> Dict[FwdKey, Tuple[str, int, Tuple[float, ...]]]:
+        """A compact view of FwdT used by tests: key -> (nhop, version, metrics)."""
+        return {key: (entry.next_hop, entry.version, entry.metrics.values)
+                for key, entry in self.fwdt.items()}
+
+    def best_next_hop(self, destination: str) -> Optional[str]:
+        """The next hop this switch would use for a fresh flowlet to ``destination``."""
+        key = self._best_key(destination)
+        if key is None:
+            return None
+        entry = self.fwdt.lookup(key)
+        return entry.next_hop if entry is not None else None

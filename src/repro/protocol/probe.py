@@ -1,0 +1,69 @@
+"""Contra probe payloads.
+
+A probe carries five fields (§4.3 plus the §5.1 refinement): the *origin*
+switch (the traffic destination it advertises), the *probe id* of the
+decomposed subpolicy it belongs to, a *version* number incremented every
+probe period by the origin, the product-graph *tag* of the virtual node the
+probe currently sits at, and the accumulated *metric vector*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.attributes import MetricVector
+from repro.simulator.packet import BASE_PROBE_BYTES, Packet, PacketKind
+
+__all__ = ["ProbePayload", "make_probe_packet", "payload_from_packet"]
+
+
+@dataclass(frozen=True)
+class ProbePayload:
+    """The Contra-specific contents of one probe packet."""
+
+    origin: str
+    pid: int
+    version: int
+    tag: int
+    metrics: MetricVector
+
+    def advanced(self, tag: int, metrics: MetricVector) -> "ProbePayload":
+        """A copy with an updated tag and metric vector (one hop of propagation)."""
+        return ProbePayload(self.origin, self.pid, self.version, tag, metrics)
+
+
+def make_probe_packet(payload: ProbePayload, src_switch: str, payload_bits: int) -> Packet:
+    """Wrap a probe payload into a simulator packet.
+
+    ``payload_bits`` is the compiled probe size (origin + pid + version + tag +
+    metric vector); the wire size adds the base framing so the overhead
+    experiment (Figure 16) counts realistic bytes.
+    """
+    return Packet(
+        kind=PacketKind.PROBE,
+        src_host=src_switch,
+        dst_host="",
+        size_bytes=int(BASE_PROBE_BYTES + payload_bits / 8.0),
+        probe={
+            "origin": payload.origin,
+            "pid": payload.pid,
+            "version": payload.version,
+            "tag": payload.tag,
+            "metric_names": payload.metrics.names,
+            "metric_values": payload.metrics.values,
+        },
+    )
+
+
+def payload_from_packet(packet: Packet) -> ProbePayload:
+    """Recover the probe payload from a simulator packet."""
+    data = packet.probe or {}
+    metrics = MetricVector(data.get("metric_names", ()), data.get("metric_values", ()))
+    return ProbePayload(
+        origin=data["origin"],
+        pid=int(data["pid"]),
+        version=int(data["version"]),
+        tag=int(data["tag"]),
+        metrics=metrics,
+    )

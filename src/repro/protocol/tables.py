@@ -1,0 +1,204 @@
+"""Switch-local state tables of the Contra data plane.
+
+These classes model, in Python, the register arrays the synthesized P4
+programs allocate:
+
+* :class:`ForwardingTable` — FwdT, keyed by (destination, tag, probe id),
+  storing the best metric vector, next tag, next hop and probe version
+  (§4.2, §5.1);
+* :class:`BestChoiceTable` — BestT, the per-destination pointer to the entry a
+  source switch currently prefers (the asterisk in Figure 6e);
+* :class:`FlowletTable` — policy-aware flowlet switching entries keyed by
+  (destination, tag, probe id, flowlet id) (§5.3);
+* :class:`LoopDetectionTable` — per-flow TTL-delta tracking used to lazily
+  break transient loops (§5.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.attributes import MetricVector
+
+__all__ = [
+    "FwdKey",
+    "ForwardingEntry",
+    "ForwardingTable",
+    "BestChoiceTable",
+    "FlowletEntry",
+    "FlowletTable",
+    "LoopDetectionTable",
+]
+
+#: FwdT key: (destination switch, local tag, probe id).
+FwdKey = Tuple[str, int, int]
+
+
+@dataclass
+class ForwardingEntry:
+    """One FwdT row."""
+
+    metrics: MetricVector
+    next_tag: int
+    next_hop: str
+    version: int
+    updated_at: float
+
+
+class ForwardingTable:
+    """FwdT: the per-switch forwarding table populated by probes."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[FwdKey, ForwardingEntry] = {}
+
+    def lookup(self, key: FwdKey) -> Optional[ForwardingEntry]:
+        return self._entries.get(key)
+
+    def install(self, key: FwdKey, entry: ForwardingEntry) -> None:
+        self._entries[key] = entry
+
+    def remove(self, key: FwdKey) -> None:
+        self._entries.pop(key, None)
+
+    def entries_for_destination(self, destination: str) -> Dict[FwdKey, ForwardingEntry]:
+        """All rows advertising ``destination`` (across tags and probe ids)."""
+        return {k: v for k, v in self._entries.items() if k[0] == destination}
+
+    def entries_via(self, next_hop: str) -> List[FwdKey]:
+        """Keys of rows whose next hop is ``next_hop`` (for failure expiry)."""
+        return [k for k, v in self._entries.items() if v.next_hop == next_hop]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self):
+        return self._entries.items()
+
+
+class BestChoiceTable:
+    """BestT: per-destination pointer to the overall best FwdT key."""
+
+    def __init__(self) -> None:
+        self._best: Dict[str, FwdKey] = {}
+
+    def get(self, destination: str) -> Optional[FwdKey]:
+        return self._best.get(destination)
+
+    def set(self, destination: str, key: FwdKey) -> None:
+        self._best[destination] = key
+
+    def clear(self, destination: str) -> None:
+        self._best.pop(destination, None)
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+
+@dataclass
+class FlowletEntry:
+    """One policy-aware flowlet pinning decision."""
+
+    next_hop: str
+    next_tag: int
+    last_seen: float
+
+
+class FlowletTable:
+    """Flowlet table keyed by (destination, tag, pid, flowlet id) (§5.3).
+
+    Including the tag and probe id in the key is exactly what makes flowlet
+    switching *policy-aware*: a preference change that re-tags packets starts
+    a fresh flowlet entry instead of reusing a pin that would violate the
+    policy.
+    """
+
+    def __init__(self, timeout: float, slots: int = 1024):
+        self.timeout = timeout
+        self.slots = slots
+        self._entries: Dict[Tuple[str, int, int, int], FlowletEntry] = {}
+
+    def flowlet_id(self, flow_key: Tuple) -> int:
+        """Hash a flow identifier into a table slot."""
+        return hash(flow_key) % self.slots
+
+    def lookup(self, destination: str, tag: int, pid: int, fid: int,
+               now: float) -> Optional[FlowletEntry]:
+        """A live (non-expired) entry, or None."""
+        key = (destination, tag, pid, fid)
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if now - entry.last_seen > self.timeout:
+            del self._entries[key]
+            return None
+        return entry
+
+    def install(self, destination: str, tag: int, pid: int, fid: int,
+                next_hop: str, next_tag: int, now: float) -> FlowletEntry:
+        entry = FlowletEntry(next_hop, next_tag, now)
+        self._entries[(destination, tag, pid, fid)] = entry
+        return entry
+
+    def touch(self, entry: FlowletEntry, now: float) -> None:
+        entry.last_seen = now
+
+    def expire(self, destination: str, tag: int, pid: int, fid: int) -> None:
+        self._entries.pop((destination, tag, pid, fid), None)
+
+    def expire_flowlet_everywhere(self, fid: int) -> int:
+        """Flush every entry with the given flowlet id (loop breaking, §5.5)."""
+        keys = [k for k in self._entries if k[3] == fid]
+        for key in keys:
+            del self._entries[key]
+        return len(keys)
+
+    def expire_via(self, next_hop: str) -> int:
+        """Flush entries pinned to a next hop believed to have failed (§5.4)."""
+        keys = [k for k, v in self._entries.items() if v.next_hop == next_hop]
+        for key in keys:
+            del self._entries[key]
+        return len(keys)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+@dataclass
+class _LoopRecord:
+    max_ttl: int
+    min_ttl: int
+    last_seen: float
+
+
+class LoopDetectionTable:
+    """TTL-delta loop detector (§5.5).
+
+    For every flow hash the switch tracks the maximum and minimum TTL observed;
+    in the absence of loops the difference is bounded by the spread of path
+    lengths in use, while a loop makes it grow without bound.  When the delta
+    exceeds ``threshold`` the switch reports a (possible) loop and the caller
+    flushes the offending flowlet entries.
+    """
+
+    def __init__(self, threshold: int = 4, slots: int = 1024, entry_timeout: float = 50.0):
+        self.threshold = threshold
+        self.slots = slots
+        self.entry_timeout = entry_timeout
+        self._records: Dict[int, _LoopRecord] = {}
+
+    def observe(self, flow_key: Tuple, ttl: int, now: float) -> bool:
+        """Record a packet's TTL; returns True when a loop is suspected."""
+        slot = hash(flow_key) % self.slots
+        record = self._records.get(slot)
+        if record is None or now - record.last_seen > self.entry_timeout:
+            self._records[slot] = _LoopRecord(ttl, ttl, now)
+            return False
+        record.max_ttl = max(record.max_ttl, ttl)
+        record.min_ttl = min(record.min_ttl, ttl)
+        record.last_seen = now
+        if record.max_ttl - record.min_ttl > self.threshold:
+            # Reset so one loop is reported once, then tracking restarts.
+            self._records[slot] = _LoopRecord(ttl, ttl, now)
+            return True
+        return False

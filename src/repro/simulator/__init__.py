@@ -1,0 +1,37 @@
+"""Discrete-event network simulator substrate (the reproduction's ns-3 stand-in)."""
+
+from repro.simulator.engine import Event, Simulator
+from repro.simulator.flow import Flow, ReceiverState, SenderState
+from repro.simulator.host import Host
+from repro.simulator.link import SimLink
+from repro.simulator.network import Network, RoutingSystem
+from repro.simulator.packet import (
+    ACK_PACKET_BYTES,
+    BASE_PROBE_BYTES,
+    DATA_PACKET_BYTES,
+    Packet,
+    PacketKind,
+)
+from repro.simulator.stats import FlowRecord, StatsCollector
+from repro.simulator.switchnode import RoutingLogic, SwitchNode
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Flow",
+    "SenderState",
+    "ReceiverState",
+    "Host",
+    "SimLink",
+    "Network",
+    "RoutingSystem",
+    "Packet",
+    "PacketKind",
+    "DATA_PACKET_BYTES",
+    "ACK_PACKET_BYTES",
+    "BASE_PROBE_BYTES",
+    "StatsCollector",
+    "FlowRecord",
+    "RoutingLogic",
+    "SwitchNode",
+]

@@ -1,0 +1,105 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event loop: events are ``(time, sequence, callback)``
+triples in a binary heap.  The sequence number breaks ties so that events
+scheduled earlier run earlier, which keeps runs bit-for-bit reproducible for a
+given seed — a property every experiment in EXPERIMENTS.md relies on.
+
+Times are floats in **milliseconds** throughout the simulator.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+__all__ = ["Simulator", "Event"]
+
+
+class Event:
+    """A scheduled callback; cancellation simply marks it inactive."""
+
+    __slots__ = ("time", "seq", "callback", "args", "active")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: Tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.active = True
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (it stays in the heap but is skipped)."""
+        self.active = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Simulator:
+    """The event loop shared by every component of one simulation run."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+        self._stopped = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._queue if e.active)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` milliseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} ms in the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time} ms, current time is {self._now} ms")
+        event = Event(time, next(self._sequence), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def stop(self) -> None:
+        """Stop the run after the currently executing event returns."""
+        self._stopped = True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Process events until the queue drains, ``until`` is reached, or
+        ``max_events`` have run.  Returns the simulation time afterwards."""
+        self._stopped = False
+        processed_this_call = 0
+        while self._queue and not self._stopped:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            if not event.active:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._events_processed += 1
+            processed_this_call += 1
+            if max_events is not None and processed_this_call >= max_events:
+                break
+        if until is not None and not self._queue:
+            self._now = max(self._now, until)
+        return self._now

@@ -1,0 +1,103 @@
+"""Flow abstraction and endpoint transport state.
+
+Flows are unidirectional transfers of ``size_packets`` full-size segments.
+Senders run a simple window-based, ACK-clocked transport with go-back-N
+retransmission on timeout — deliberately simpler than TCP, but sufficient to
+make flow completion times respond to queueing, loss and path choice, which is
+what the FCT comparisons in the paper measure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+__all__ = ["Flow", "SenderState", "ReceiverState"]
+
+_flow_ids = itertools.count()
+
+
+@dataclass
+class Flow:
+    """A single flow request produced by the workload generator."""
+
+    src_host: str
+    dst_host: str
+    size_packets: int
+    start_time: float
+    flow_id: int = field(default_factory=lambda: next(_flow_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_packets < 1:
+            self.size_packets = 1
+
+
+class SenderState:
+    """Transport state kept by the sending host for one flow."""
+
+    def __init__(self, flow: Flow, window: int, rto: float):
+        self.flow = flow
+        self.window = max(1, window)
+        self.rto = rto
+        self.cumulative_ack = 0          # all seqs < this are acknowledged
+        self.next_seq = 0                # next new seq to transmit
+        self.last_progress_time = flow.start_time
+        self.completed = False
+        self.retransmissions = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self.next_seq - self.cumulative_ack
+
+    def can_send(self) -> bool:
+        return (not self.completed
+                and self.next_seq < self.flow.size_packets
+                and self.in_flight < self.window)
+
+    def on_ack(self, ack_seq: int, now: float) -> bool:
+        """Process a cumulative ACK; returns True if it made progress."""
+        if ack_seq > self.cumulative_ack:
+            self.cumulative_ack = ack_seq
+            self.last_progress_time = now
+            if self.cumulative_ack >= self.flow.size_packets:
+                self.completed = True
+            return True
+        return False
+
+    def timeout_expired(self, now: float) -> bool:
+        return (not self.completed
+                and self.in_flight > 0
+                and now - self.last_progress_time >= self.rto)
+
+    def retransmit(self, now: float) -> None:
+        """Go-back-N: rewind transmission to the first unacknowledged segment."""
+        self.next_seq = self.cumulative_ack
+        self.last_progress_time = now
+        self.retransmissions += 1
+
+
+class ReceiverState:
+    """Transport state kept by the receiving host for one flow."""
+
+    def __init__(self, flow_id: int, src_host: str, size_packets: Optional[int] = None):
+        self.flow_id = flow_id
+        self.src_host = src_host
+        self.size_packets = size_packets
+        self.received: Set[int] = set()
+        self._cumulative = 0
+        self.completed = False
+
+    def on_data(self, seq: int, total_size: int) -> int:
+        """Record a data segment; returns the new cumulative ACK value."""
+        self.size_packets = total_size
+        self.received.add(seq)
+        while self._cumulative in self.received:
+            self._cumulative += 1
+        if self.size_packets is not None and self._cumulative >= self.size_packets:
+            self.completed = True
+        return self._cumulative
+
+    @property
+    def cumulative_ack(self) -> int:
+        return self._cumulative

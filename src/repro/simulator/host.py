@@ -1,0 +1,173 @@
+"""End hosts: traffic sources and sinks.
+
+Hosts implement the window-based transport described in
+:mod:`repro.simulator.flow` plus an optional constant-rate (UDP-like) mode
+used by the failure-recovery experiment (Figure 14).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.exceptions import SimulationError
+from repro.simulator.flow import Flow, ReceiverState, SenderState
+from repro.simulator.packet import ACK_PACKET_BYTES, DATA_PACKET_BYTES, Packet, PacketKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.network import Network
+
+__all__ = ["Host"]
+
+
+class Host:
+    """A traffic endpoint attached to one edge switch."""
+
+    def __init__(
+        self,
+        network: "Network",
+        name: str,
+        window: int = 12,
+        rto: float = 5.0,
+    ):
+        self.network = network
+        self.sim = network.sim
+        self.stats = network.stats
+        self.name = name
+        self.window = window
+        self.rto = rto
+
+        self.uplink = None  # type: ignore[assignment]  # set by Network wiring
+        self._senders: Dict[int, SenderState] = {}
+        self._receivers: Dict[int, ReceiverState] = {}
+        self._streams: Dict[int, dict] = {}
+        self._stream_counter = 0
+
+    # ------------------------------------------------------------------ flows
+
+    def start_flow(self, flow: Flow) -> None:
+        """Begin transmitting a flow (called by the network at the arrival time)."""
+        if flow.src_host != self.name:
+            raise SimulationError(f"flow {flow.flow_id} does not originate at host {self.name}")
+        sender = SenderState(flow, self.window, self.rto)
+        self._senders[flow.flow_id] = sender
+        self.stats.register_flow(flow.flow_id, flow.src_host, flow.dst_host,
+                                 flow.size_packets, self.sim.now)
+        self._pump(flow.flow_id)
+        self.sim.schedule(self.rto, self._check_timeout, flow.flow_id)
+
+    def _pump(self, flow_id: int) -> None:
+        """Send as many new segments as the window allows."""
+        sender = self._senders.get(flow_id)
+        if sender is None or sender.completed:
+            return
+        while sender.can_send():
+            packet = Packet(
+                kind=PacketKind.DATA,
+                src_host=self.name,
+                dst_host=sender.flow.dst_host,
+                flow_id=flow_id,
+                seq=sender.next_seq,
+                size_bytes=DATA_PACKET_BYTES,
+                created_at=self.sim.now,
+            )
+            sender.next_seq += 1
+            self._transmit(packet)
+
+    def _transmit(self, packet: Packet) -> None:
+        packet.src_switch = self.network.attachment_switch(packet.src_host)
+        packet.dst_switch = self.network.attachment_switch(packet.dst_host)
+        if self.uplink is None:
+            raise SimulationError(f"host {self.name} has no uplink")
+        self.uplink.enqueue(packet)
+
+    def _check_timeout(self, flow_id: int) -> None:
+        sender = self._senders.get(flow_id)
+        if sender is None or sender.completed:
+            return
+        if sender.timeout_expired(self.sim.now):
+            sender.retransmit(self.sim.now)
+            self.stats.record_retransmission(flow_id)
+            self._pump(flow_id)
+        self.sim.schedule(self.rto, self._check_timeout, flow_id)
+
+    # --------------------------------------------------------------- streams
+
+    def start_constant_stream(self, dst_host: str, rate: float, duration: float) -> int:
+        """Send full-size packets to ``dst_host`` at ``rate`` packets/ms for ``duration`` ms.
+
+        Used by the failure-recovery experiment; no ACKs or retransmissions.
+        Returns a stream id.
+        """
+        if rate <= 0:
+            raise SimulationError("stream rate must be positive")
+        self._stream_counter += 1
+        stream_id = self._stream_counter
+        self._streams[stream_id] = {
+            "dst": dst_host,
+            "interval": 1.0 / rate,
+            "end": self.sim.now + duration,
+            "seq": 0,
+        }
+        self.sim.schedule(0.0, self._stream_tick, stream_id)
+        return stream_id
+
+    def _stream_tick(self, stream_id: int) -> None:
+        stream = self._streams.get(stream_id)
+        if stream is None or self.sim.now > stream["end"]:
+            return
+        packet = Packet(
+            kind=PacketKind.DATA,
+            src_host=self.name,
+            dst_host=stream["dst"],
+            flow_id=-stream_id,           # negative ids mark unreliable streams
+            seq=stream["seq"],
+            size_bytes=DATA_PACKET_BYTES,
+            created_at=self.sim.now,
+        )
+        stream["seq"] += 1
+        self._transmit(packet)
+        self.sim.schedule(stream["interval"], self._stream_tick, stream_id)
+
+    # ---------------------------------------------------------------- receive
+
+    def receive(self, packet: Packet, inport: str) -> None:
+        """Entry point for packets delivered by the attachment switch."""
+        if packet.is_data:
+            self._receive_data(packet)
+        elif packet.is_ack:
+            self._receive_ack(packet)
+        # Probes terminating at a host are silently ignored (should not happen).
+
+    def _receive_data(self, packet: Packet) -> None:
+        self.stats.record_delivery(packet, self.sim.now)
+        if packet.flow_id < 0:
+            return  # unreliable stream: no ACKs, no completion tracking
+        receiver = self._receivers.get(packet.flow_id)
+        if receiver is None:
+            receiver = ReceiverState(packet.flow_id, packet.src_host)
+            self._receivers[packet.flow_id] = receiver
+        total = self.stats.flows[packet.flow_id].size_packets if packet.flow_id in self.stats.flows \
+            else packet.seq + 1
+        ack_seq = receiver.on_data(packet.seq, total)
+        if receiver.completed:
+            self.stats.complete_flow(packet.flow_id, self.sim.now)
+        ack = Packet(
+            kind=PacketKind.ACK,
+            src_host=self.name,
+            dst_host=packet.src_host,
+            flow_id=packet.flow_id,
+            ack_seq=ack_seq,
+            size_bytes=ACK_PACKET_BYTES,
+            created_at=self.sim.now,
+        )
+        self._transmit(ack)
+
+    def _receive_ack(self, packet: Packet) -> None:
+        sender = self._senders.get(packet.flow_id)
+        if sender is None:
+            return
+        if sender.on_ack(packet.ack_seq, self.sim.now) and not sender.completed:
+            self._pump(packet.flow_id)
+
+    def __repr__(self) -> str:
+        return f"Host({self.name})"

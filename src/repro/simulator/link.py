@@ -1,0 +1,165 @@
+"""Directed link model: FIFO queue, finite buffer, serialization and propagation.
+
+Each :class:`SimLink` models one direction of a physical link.  Packets are
+serialized at the link capacity (``packets/ms`` scaled by packet size relative
+to a full data segment), queued in a drop-tail buffer, and delivered after the
+propagation latency.  The link also maintains the data-plane *utilization*
+estimate that Contra and Hula probes read: an exponentially weighted moving
+average of the transmitted load over the link capacity, the standard
+data-plane estimator both systems use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, TYPE_CHECKING
+
+from repro.simulator.packet import DATA_PACKET_BYTES, Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.engine import Simulator
+    from repro.simulator.stats import StatsCollector
+
+__all__ = ["SimLink"]
+
+
+class SimLink:
+    """One direction of a link between two simulation nodes."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        src: str,
+        dst: str,
+        capacity: float,
+        latency: float,
+        buffer_packets: int = 1000,
+        deliver: Optional[Callable[[Packet, str], None]] = None,
+        stats: Optional["StatsCollector"] = None,
+        util_window: float = 1.0,
+    ):
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.capacity = float(capacity)          # full-size packets per ms
+        self.latency = float(latency)            # ms
+        self.buffer_packets = int(buffer_packets)
+        self.deliver = deliver                   # callback(packet, inport=src)
+        self.stats = stats
+        self.util_window = float(util_window)    # ms, EWMA window for utilization
+
+        self._queue: Deque[Packet] = deque()
+        # Control probes are transmitted with strict priority over data, the
+        # standard treatment for in-band control traffic (Hula and Contra both
+        # assume probes are not delayed behind full data queues).
+        self._probe_queue: Deque[Packet] = deque()
+        self._busy = False
+        self.failed = False
+
+        # Utilization estimator state.
+        self._util = 0.0
+        self._last_util_update = 0.0
+
+        # Counters.
+        self.packets_sent = 0
+        self.bytes_sent = 0.0
+        self.packets_dropped = 0
+
+    # ------------------------------------------------------------------ queue
+
+    @property
+    def queue_length(self) -> int:
+        """Data packets currently queued (excluding the one being serialized)."""
+        return len(self._queue)
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Accept a packet for transmission; returns False if it was dropped."""
+        if self.failed:
+            self.packets_dropped += 1
+            if self.stats is not None:
+                self.stats.record_drop(self, packet)
+            return False
+        if packet.is_probe:
+            self._probe_queue.append(packet)
+        else:
+            if len(self._queue) >= self.buffer_packets:
+                self.packets_dropped += 1
+                if self.stats is not None:
+                    self.stats.record_drop(self, packet)
+                return False
+            self._queue.append(packet)
+            if self.stats is not None:
+                self.stats.record_queue_length(self, len(self._queue))
+        if not self._busy:
+            self._transmit_next()
+        return True
+
+    def _transmission_time(self, packet: Packet) -> float:
+        """Serialization delay for one packet (scaled by its wire size)."""
+        relative_size = packet.wire_bytes / DATA_PACKET_BYTES
+        return relative_size / self.capacity
+
+    def _transmit_next(self) -> None:
+        if not self._probe_queue and not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._probe_queue.popleft() if self._probe_queue else self._queue.popleft()
+        tx_time = self._transmission_time(packet)
+        self._record_transmission(packet, tx_time)
+        self.sim.schedule(tx_time, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        # Propagation happens in parallel with the next serialization.
+        if not self.failed:
+            self.sim.schedule(self.latency, self._deliver_packet, packet)
+        self._transmit_next()
+
+    def _deliver_packet(self, packet: Packet) -> None:
+        if self.deliver is not None and not self.failed:
+            self.deliver(packet, self.src)
+
+    # ----------------------------------------------------------- utilization
+
+    def _record_transmission(self, packet: Packet, tx_time: float) -> None:
+        self.packets_sent += 1
+        self.bytes_sent += packet.wire_bytes
+        if self.stats is not None:
+            self.stats.record_transmission(self, packet)
+        self._decay_util()
+        # Each transmission contributes its busy time over the averaging window.
+        self._util = min(1.5, self._util + tx_time / self.util_window)
+
+    def _decay_util(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_util_update
+        if elapsed > 0:
+            decay = max(0.0, 1.0 - elapsed / self.util_window)
+            self._util *= decay
+            self._last_util_update = now
+
+    @property
+    def utilization(self) -> float:
+        """Current utilization estimate in [0, ~1.5] (decayed to *now*)."""
+        self._decay_util()
+        return min(1.0, self._util)
+
+    # ---------------------------------------------------------------- failure
+
+    def fail(self) -> None:
+        """Bring the link down: queued and in-flight packets are lost."""
+        self.failed = True
+        self._queue.clear()
+        self._probe_queue.clear()
+
+    def recover(self) -> None:
+        """Bring the link back up."""
+        self.failed = False
+
+    def metric_values(self) -> dict:
+        """The per-link metric values probes fold into their metric vectors."""
+        return {"util": self.utilization, "lat": self.latency, "len": 1.0}
+
+    def __repr__(self) -> str:
+        return (f"SimLink({self.src}->{self.dst}, cap={self.capacity}, "
+                f"lat={self.latency}, q={len(self._queue)})")

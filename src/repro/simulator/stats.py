@@ -1,0 +1,221 @@
+"""Statistics collection for simulation runs.
+
+One :class:`StatsCollector` instance is shared by every link, host and switch
+of a run.  It gathers exactly the quantities the paper's evaluation reports:
+
+* flow completion times (Figures 11, 12, 15),
+* queue-length samples and their CDF (Figure 13),
+* delivered throughput over time (Figure 14),
+* traffic volume split into data / ACK / probe / tag-overhead bytes
+  (Figure 16), and
+* loop and drop counters (§6.5).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.link import SimLink
+    from repro.simulator.packet import Packet
+
+__all__ = ["FlowRecord", "StatsCollector"]
+
+
+@dataclass
+class FlowRecord:
+    """Lifecycle record of one flow."""
+
+    flow_id: int
+    src_host: str
+    dst_host: str
+    size_packets: int
+    start_time: float
+    completion_time: Optional[float] = None
+    retransmissions: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.completion_time is not None
+
+    @property
+    def fct(self) -> Optional[float]:
+        """Flow completion time in milliseconds (None while in flight)."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.start_time
+
+
+class StatsCollector:
+    """Aggregates measurements across one simulation run."""
+
+    def __init__(self, throughput_bin_ms: float = 1.0, queue_sample_limit: int = 2_000_000,
+                 record_paths: bool = False, path_sample_limit: int = 200_000):
+        self.flows: Dict[int, FlowRecord] = {}
+        self.queue_samples: List[int] = []
+        self._queue_sample_limit = queue_sample_limit
+        self.throughput_bin_ms = throughput_bin_ms
+        self._delivered_bytes_per_bin: Dict[int, float] = defaultdict(float)
+
+        #: When enabled, switches append their name to every data packet and
+        #: delivered paths are sampled here (used for the §6.5 loop fraction
+        #: and by the policy-compliance tests).
+        self.record_paths = record_paths
+        self._path_sample_limit = path_sample_limit
+        self.delivered_paths: List[Tuple[int, Tuple[str, ...]]] = []
+
+        # Traffic accounting (bytes on the wire across all links).
+        self.data_bytes = 0.0
+        self.ack_bytes = 0.0
+        self.probe_bytes = 0.0
+        self.tag_overhead_bytes = 0.0
+        self.total_packets = 0
+
+        # Data-plane events.
+        self.drops = 0
+        self.probe_drops = 0
+        self.loop_detections = 0
+        self.looped_packets = 0
+        self.data_packets_forwarded = 0
+        self.flowlet_expirations = 0
+        self.failure_detections = 0
+
+    # ------------------------------------------------------------------ flows
+
+    def register_flow(self, flow_id: int, src_host: str, dst_host: str,
+                      size_packets: int, start_time: float) -> FlowRecord:
+        record = FlowRecord(flow_id, src_host, dst_host, size_packets, start_time)
+        self.flows[flow_id] = record
+        return record
+
+    def complete_flow(self, flow_id: int, time: float) -> None:
+        record = self.flows.get(flow_id)
+        if record is not None and record.completion_time is None:
+            record.completion_time = time
+
+    def record_retransmission(self, flow_id: int) -> None:
+        record = self.flows.get(flow_id)
+        if record is not None:
+            record.retransmissions += 1
+
+    def completed_flows(self) -> List[FlowRecord]:
+        return [f for f in self.flows.values() if f.completed]
+
+    def flow_completion_times(self) -> List[float]:
+        return [f.fct for f in self.flows.values() if f.completed]
+
+    def average_fct(self) -> float:
+        """Mean FCT over completed flows (ms); NaN if nothing completed."""
+        fcts = self.flow_completion_times()
+        return float(np.mean(fcts)) if fcts else float("nan")
+
+    def percentile_fct(self, percentile: float) -> float:
+        fcts = self.flow_completion_times()
+        return float(np.percentile(fcts, percentile)) if fcts else float("nan")
+
+    def completion_ratio(self) -> float:
+        """Fraction of flows that finished before the run ended."""
+        if not self.flows:
+            return 1.0
+        return len(self.completed_flows()) / len(self.flows)
+
+    # ------------------------------------------------------------------ links
+
+    def record_transmission(self, link: "SimLink", packet: "Packet") -> None:
+        self.total_packets += 1
+        if packet.is_probe:
+            self.probe_bytes += packet.wire_bytes
+        elif packet.is_ack:
+            self.ack_bytes += packet.wire_bytes
+        else:
+            self.data_bytes += packet.size_bytes
+            self.tag_overhead_bytes += packet.extra_header_bits / 8.0
+
+    def record_drop(self, link: "SimLink", packet: "Packet") -> None:
+        if packet.is_probe:
+            self.probe_drops += 1
+        else:
+            self.drops += 1
+
+    def record_queue_length(self, link: "SimLink", length: int) -> None:
+        if len(self.queue_samples) < self._queue_sample_limit:
+            self.queue_samples.append(length)
+
+    def queue_length_cdf(self, points: Sequence[float] = (0.5, 0.9, 0.99, 1.0)) -> Dict[float, float]:
+        """Queue length at the requested CDF points (packets)."""
+        if not self.queue_samples:
+            return {p: 0.0 for p in points}
+        arr = np.asarray(self.queue_samples)
+        return {p: float(np.percentile(arr, 100.0 * p)) for p in points}
+
+    # ------------------------------------------------------------- throughput
+
+    def record_delivery(self, packet: "Packet", time: float) -> None:
+        """Called by hosts when a data packet reaches its destination."""
+        bin_index = int(time / self.throughput_bin_ms)
+        self._delivered_bytes_per_bin[bin_index] += packet.size_bytes
+        if self.record_paths and packet.path_trace is not None and \
+                len(self.delivered_paths) < self._path_sample_limit:
+            self.delivered_paths.append((packet.flow_id, tuple(packet.path_trace)))
+
+    def throughput_series(self) -> List[Tuple[float, float]]:
+        """(time ms, delivered Gbps-equivalent) samples, one per bin.
+
+        The "Gbps" unit assumes the scaled convention of 1 full packet per ms
+        per capacity unit; the absolute numbers are not meaningful, the shape
+        around a failure event is (Figure 14).
+        """
+        if not self._delivered_bytes_per_bin:
+            return []
+        series = []
+        for bin_index in sorted(self._delivered_bytes_per_bin):
+            time = bin_index * self.throughput_bin_ms
+            bytes_delivered = self._delivered_bytes_per_bin[bin_index]
+            # bytes per ms -> packets per ms (one packet == one capacity unit).
+            rate = bytes_delivered / 1500.0 / self.throughput_bin_ms
+            series.append((time, rate))
+        return series
+
+    # --------------------------------------------------------------- overhead
+
+    def total_traffic_bytes(self) -> float:
+        return self.data_bytes + self.ack_bytes + self.probe_bytes + self.tag_overhead_bytes
+
+    def overhead_ratio(self) -> float:
+        """Probe + tag bytes as a fraction of data bytes."""
+        if self.data_bytes == 0:
+            return 0.0
+        return (self.probe_bytes + self.tag_overhead_bytes) / self.data_bytes
+
+    def loop_fraction(self) -> float:
+        """Fraction of forwarded data packets that experienced a loop (§6.5)."""
+        if self.data_packets_forwarded == 0:
+            return 0.0
+        return self.looped_packets / self.data_packets_forwarded
+
+    # ------------------------------------------------------------------ report
+
+    def summary(self) -> Dict[str, float]:
+        """A flat summary dictionary used by the experiment drivers."""
+        return {
+            "flows": len(self.flows),
+            "completed_flows": len(self.completed_flows()),
+            "completion_ratio": self.completion_ratio(),
+            "avg_fct_ms": self.average_fct(),
+            "p99_fct_ms": self.percentile_fct(99.0),
+            "drops": self.drops,
+            "data_bytes": self.data_bytes,
+            "ack_bytes": self.ack_bytes,
+            "probe_bytes": self.probe_bytes,
+            "tag_overhead_bytes": self.tag_overhead_bytes,
+            "overhead_ratio": self.overhead_ratio(),
+            "loop_fraction": self.loop_fraction(),
+            "loop_detections": self.loop_detections,
+            "flowlet_expirations": self.flowlet_expirations,
+            "failure_detections": self.failure_detections,
+        }

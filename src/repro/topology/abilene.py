@@ -1,0 +1,88 @@
+"""The Abilene (Internet2) research network topology.
+
+Figure 15 evaluates Contra on a network "modeled after the Abilene topology"
+with all links set to 40 Gbps.  Abilene is the classic 11-node US research
+backbone; the node set and link list below follow the standard published
+topology (e.g. the Internet2 network maps and the TOTEM/SNDlib datasets).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.topology.graph import Topology
+
+__all__ = ["abilene", "ABILENE_NODES", "ABILENE_LINKS"]
+
+#: City abbreviations used as switch names.
+ABILENE_NODES: List[str] = [
+    "NYC",   # New York
+    "CHI",   # Chicago
+    "WDC",   # Washington DC
+    "SEA",   # Seattle
+    "SNV",   # Sunnyvale
+    "LAX",   # Los Angeles
+    "DEN",   # Denver
+    "KSC",   # Kansas City
+    "HOU",   # Houston
+    "ATL",   # Atlanta
+    "IPL",   # Indianapolis
+]
+
+#: Bidirectional backbone links with approximate one-way propagation delays in
+#: milliseconds (great-circle distance / ~2/3 c, rounded).  The simulator works
+#: in scaled units, but keeping realistic *relative* latencies matters for
+#: latency-aware policies.
+ABILENE_LINKS: List[Tuple[str, str, float]] = [
+    ("NYC", "CHI", 5.0),
+    ("NYC", "WDC", 2.0),
+    ("CHI", "IPL", 1.5),
+    ("WDC", "ATL", 4.0),
+    ("SEA", "SNV", 5.5),
+    ("SEA", "DEN", 7.0),
+    ("SNV", "LAX", 3.0),
+    ("SNV", "DEN", 6.5),
+    ("LAX", "HOU", 9.0),
+    ("DEN", "KSC", 4.0),
+    ("KSC", "HOU", 4.5),
+    ("KSC", "IPL", 3.5),
+    ("HOU", "ATL", 5.5),
+    ("ATL", "IPL", 3.0),
+]
+
+
+def abilene(
+    capacity: float = 40.0,
+    hosts_per_switch: int = 1,
+    host_capacity: Optional[float] = None,
+    scale_latency: float = 0.02,
+    name: str = "abilene",
+) -> Topology:
+    """Build the Abilene topology.
+
+    Parameters
+    ----------
+    capacity:
+        Backbone link capacity (the paper uses 40 Gbps links; in simulator
+        units the default is 40 packets/ms).
+    hosts_per_switch:
+        Number of hosts attached to every city PoP (the FCT experiment picks
+        sender/receiver pairs among these).
+    scale_latency:
+        Multiplier applied to the realistic millisecond latencies so that the
+        scaled-down simulator's RTTs stay comparable to its bandwidths.
+    """
+    if host_capacity is None:
+        host_capacity = capacity
+    topo = Topology(name)
+    for node in ABILENE_NODES:
+        topo.add_switch(node)
+    for a, b, latency in ABILENE_LINKS:
+        topo.add_link(a, b, capacity=capacity, latency=latency * scale_latency)
+    for node in ABILENE_NODES:
+        for j in range(hosts_per_switch):
+            host = f"h_{node}_{j}"
+            topo.add_host(host, node)
+            topo.add_link(host, node, capacity=host_capacity, latency=0.01)
+    topo.validate()
+    return topo

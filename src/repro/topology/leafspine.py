@@ -1,0 +1,60 @@
+"""Leaf-spine (two-tier Clos) topology generator.
+
+The strawman example in the paper's §3 (Figure 4a) is a leaf-spine network:
+every leaf switch connects to every spine switch, and hosts attach to leaves.
+This generator is used by the quickstart example and by several unit and
+integration tests because it is the smallest topology that exhibits multipath.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import NodeKind, Topology
+
+__all__ = ["leafspine"]
+
+
+def leafspine(
+    leaves: int = 2,
+    spines: int = 2,
+    hosts_per_leaf: int = 2,
+    capacity: float = 10.0,
+    latency: float = 0.05,
+    host_capacity: Optional[float] = None,
+    name: Optional[str] = None,
+) -> Topology:
+    """Build a leaf-spine topology.
+
+    Parameters mirror :func:`repro.topology.fattree.fattree`; leaf switches are
+    named ``leaf0..``, spines ``spine0..`` and hosts ``h{leaf}_{j}``.
+    """
+    if leaves < 1 or spines < 1:
+        raise TopologyError("leaf-spine requires at least one leaf and one spine")
+    if hosts_per_leaf < 0:
+        raise TopologyError("hosts_per_leaf must be non-negative")
+    if host_capacity is None:
+        host_capacity = capacity
+
+    topo = Topology(name or f"leafspine-{leaves}x{spines}")
+    spine_names = [f"spine{i}" for i in range(spines)]
+    leaf_names = [f"leaf{i}" for i in range(leaves)]
+
+    for spine in spine_names:
+        topo.add_switch(spine, role=NodeKind.SPINE)
+    for leaf in leaf_names:
+        topo.add_switch(leaf, role=NodeKind.LEAF)
+
+    for leaf in leaf_names:
+        for spine in spine_names:
+            topo.add_link(leaf, spine, capacity=capacity, latency=latency)
+
+    for l_idx, leaf in enumerate(leaf_names):
+        for j in range(hosts_per_leaf):
+            host = f"h{l_idx}_{j}"
+            topo.add_host(host, leaf)
+            topo.add_link(host, leaf, capacity=host_capacity, latency=latency)
+
+    topo.validate()
+    return topo

@@ -1,0 +1,174 @@
+"""Random graph topologies for the compiler scalability experiments.
+
+Figure 9b/10b sweep "random networks" with 100–500 nodes.  The paper does not
+specify the random-graph family, so we provide three standard families, all
+guaranteed connected and all deterministic given a seed:
+
+* :func:`random_regular` — every switch has the same degree (the most common
+  choice for synthetic network fabrics),
+* :func:`erdos_renyi` — G(n, p) with a connectivity repair pass,
+* :func:`waxman` — the classic geographic random-topology model used in much
+  WAN literature.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import Topology
+
+__all__ = ["random_regular", "erdos_renyi", "waxman", "random_network"]
+
+
+def _names(n: int) -> list:
+    width = max(2, len(str(n - 1)))
+    return [f"s{str(i).zfill(width)}" for i in range(n)]
+
+
+def _attach_hosts(topo: Topology, hosts_per_switch: int, capacity: float, latency: float) -> None:
+    for switch in list(topo.switches):
+        for j in range(hosts_per_switch):
+            host = f"h_{switch}_{j}"
+            topo.add_host(host, switch)
+            topo.add_link(host, switch, capacity=capacity, latency=latency)
+
+
+def _ensure_connected(topo: Topology, rng: random.Random, capacity: float, latency: float) -> None:
+    """Add links between components until the switch graph is connected."""
+    while not topo.is_connected():
+        switches = topo.switches
+        seen = {switches[0]}
+        stack = [switches[0]]
+        while stack:
+            node = stack.pop()
+            for nbr in topo.switch_neighbors(node):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        outside = [s for s in switches if s not in seen]
+        a = rng.choice(sorted(seen))
+        b = rng.choice(outside)
+        if not topo.has_link(a, b):
+            topo.add_link(a, b, capacity=capacity, latency=latency)
+
+
+def random_regular(
+    n: int,
+    degree: int = 4,
+    seed: int = 0,
+    capacity: float = 10.0,
+    latency: float = 0.05,
+    hosts_per_switch: int = 0,
+    name: Optional[str] = None,
+) -> Topology:
+    """A connected random (approximately) ``degree``-regular graph on ``n`` switches."""
+    if n < 2:
+        raise TopologyError("random_regular needs at least 2 switches")
+    if degree < 1 or degree >= n:
+        raise TopologyError(f"degree must be in [1, n-1], got {degree} for n={n}")
+
+    rng = random.Random(seed)
+    names = _names(n)
+    topo = Topology(name or f"random-regular-{n}-d{degree}")
+    for s in names:
+        topo.add_switch(s)
+
+    # Pairing model: create degree "stubs" per node, match them randomly, skip
+    # self-loops/duplicates, then repair connectivity.
+    stubs = [s for s in names for _ in range(degree)]
+    rng.shuffle(stubs)
+    for i in range(0, len(stubs) - 1, 2):
+        a, b = stubs[i], stubs[i + 1]
+        if a != b and not topo.has_link(a, b):
+            topo.add_link(a, b, capacity=capacity, latency=latency)
+    _ensure_connected(topo, rng, capacity, latency)
+    _attach_hosts(topo, hosts_per_switch, capacity, latency)
+    topo.validate()
+    return topo
+
+
+def erdos_renyi(
+    n: int,
+    p: Optional[float] = None,
+    seed: int = 0,
+    capacity: float = 10.0,
+    latency: float = 0.05,
+    hosts_per_switch: int = 0,
+    name: Optional[str] = None,
+) -> Topology:
+    """A connected Erdős–Rényi G(n, p) switch graph.
+
+    The default ``p`` is ``2 * ln(n) / n``, comfortably above the connectivity
+    threshold; any remaining disconnection is repaired deterministically.
+    """
+    if n < 2:
+        raise TopologyError("erdos_renyi needs at least 2 switches")
+    if p is None:
+        p = min(1.0, 2.0 * math.log(n) / n)
+    if not 0.0 < p <= 1.0:
+        raise TopologyError(f"edge probability must be in (0, 1], got {p}")
+
+    rng = random.Random(seed)
+    names = _names(n)
+    topo = Topology(name or f"erdos-renyi-{n}")
+    for s in names:
+        topo.add_switch(s)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                topo.add_link(names[i], names[j], capacity=capacity, latency=latency)
+    _ensure_connected(topo, rng, capacity, latency)
+    _attach_hosts(topo, hosts_per_switch, capacity, latency)
+    topo.validate()
+    return topo
+
+
+def waxman(
+    n: int,
+    alpha: float = 0.4,
+    beta: float = 0.4,
+    seed: int = 0,
+    capacity: float = 10.0,
+    latency_scale: float = 0.2,
+    hosts_per_switch: int = 0,
+    name: Optional[str] = None,
+) -> Topology:
+    """A connected Waxman random topology.
+
+    Switches are placed uniformly in the unit square; an edge between ``u`` and
+    ``v`` exists with probability ``alpha * exp(-d(u, v) / (beta * L))`` where
+    ``L`` is the maximum possible distance.  Link latency is proportional to
+    Euclidean distance (scaled by ``latency_scale`` ms), which makes Waxman
+    topologies a natural substrate for latency-aware policies.
+    """
+    if n < 2:
+        raise TopologyError("waxman needs at least 2 switches")
+    rng = random.Random(seed)
+    names = _names(n)
+    positions = {s: (rng.random(), rng.random()) for s in names}
+    max_dist = math.sqrt(2.0)
+
+    topo = Topology(name or f"waxman-{n}")
+    for s in names:
+        topo.add_switch(s)
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = names[i], names[j]
+            (x1, y1), (x2, y2) = positions[a], positions[b]
+            dist = math.hypot(x1 - x2, y1 - y2)
+            if rng.random() < alpha * math.exp(-dist / (beta * max_dist)):
+                topo.add_link(a, b, capacity=capacity,
+                              latency=max(0.01, latency_scale * dist))
+    _ensure_connected(topo, rng, capacity, 0.05)
+    _attach_hosts(topo, hosts_per_switch, capacity, 0.05)
+    topo.validate()
+    return topo
+
+
+def random_network(n: int, seed: int = 0, **kwargs) -> Topology:
+    """The default "random network" family used by the Figure 9b/10b sweep."""
+    degree = kwargs.pop("degree", 4)
+    return random_regular(n, degree=degree, seed=seed, **kwargs)

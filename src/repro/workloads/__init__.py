@@ -1,0 +1,33 @@
+"""Workload substrate: flow-size distributions and load-targeted generators."""
+
+from repro.workloads.distributions import (
+    CACHE_CDF,
+    WEB_SEARCH_CDF,
+    WORKLOAD_NAMES,
+    EmpiricalCDF,
+    cache_distribution,
+    distribution_by_name,
+    uniform_distribution,
+    web_search_distribution,
+)
+from repro.workloads.generator import (
+    WorkloadSpec,
+    generate_workload,
+    random_pairs,
+    split_senders_receivers,
+)
+
+__all__ = [
+    "EmpiricalCDF",
+    "WEB_SEARCH_CDF",
+    "CACHE_CDF",
+    "WORKLOAD_NAMES",
+    "web_search_distribution",
+    "cache_distribution",
+    "uniform_distribution",
+    "distribution_by_name",
+    "WorkloadSpec",
+    "generate_workload",
+    "split_senders_receivers",
+    "random_pairs",
+]

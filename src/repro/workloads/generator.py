@@ -1,0 +1,161 @@
+"""Workload generation: Poisson flow arrivals tuned to a target network load.
+
+The FCT experiments sweep "network load" from 10% to 90% (§6.3): the offered
+load is the fraction of the senders' access-link capacity consumed by the
+generated flows.  Given a flow-size distribution with mean ``m`` packets and a
+host link capacity of ``C`` packets/ms, a per-sender arrival rate of
+``load * C / m`` flows/ms achieves that offered load; arrivals are Poisson
+(exponential inter-arrival times), matching standard datacenter workload
+methodology.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.simulator.flow import Flow
+from repro.topology.graph import Topology
+from repro.workloads.distributions import EmpiricalCDF
+
+__all__ = ["WorkloadSpec", "generate_workload", "split_senders_receivers", "random_pairs"]
+
+
+@dataclass
+class WorkloadSpec:
+    """A fully described workload: who sends to whom, how much, and when."""
+
+    flows: List[Flow]
+    senders: List[str]
+    receivers: List[str]
+    target_load: float
+    duration: float
+    distribution_name: str
+
+    @property
+    def total_packets(self) -> int:
+        return sum(f.size_packets for f in self.flows)
+
+    def offered_load(self, host_capacity: float) -> float:
+        """The realised offered load as a fraction of sender capacity."""
+        if not self.senders or self.duration <= 0:
+            return 0.0
+        capacity_packets = len(self.senders) * host_capacity * self.duration
+        return self.total_packets / capacity_packets if capacity_packets else 0.0
+
+
+def split_senders_receivers(topology: Topology) -> Tuple[List[str], List[str]]:
+    """The paper's default host split: half the hosts send, the other half receive.
+
+    Hosts are interleaved so that senders and receivers are spread across edge
+    switches rather than clustered on one side of the fabric.
+    """
+    hosts = topology.hosts
+    if len(hosts) < 2:
+        raise WorkloadError("need at least two hosts to generate traffic")
+    senders = hosts[0::2]
+    receivers = hosts[1::2]
+    if not receivers:
+        receivers = [hosts[-1]]
+    return senders, receivers
+
+
+def random_pairs(topology: Topology, pairs: int, seed: int = 0,
+                 distinct_switches: bool = True) -> Tuple[List[str], List[str]]:
+    """Randomly chosen sender/receiver host pairs (the Abilene experiment uses 4)."""
+    rng = np.random.default_rng(seed)
+    hosts = topology.hosts
+    if len(hosts) < 2:
+        raise WorkloadError("need at least two hosts to pick pairs")
+    senders: List[str] = []
+    receivers: List[str] = []
+    attempts = 0
+    while len(senders) < pairs and attempts < 1000:
+        attempts += 1
+        a, b = rng.choice(hosts, size=2, replace=False)
+        if distinct_switches and topology.attachment_switch(a) == topology.attachment_switch(b):
+            continue
+        senders.append(str(a))
+        receivers.append(str(b))
+    if len(senders) < pairs:
+        raise WorkloadError(f"could not find {pairs} host pairs on distinct switches")
+    return senders, receivers
+
+
+def generate_workload(
+    topology: Topology,
+    distribution: EmpiricalCDF,
+    load: float,
+    duration: float,
+    host_capacity: float = 10.0,
+    seed: int = 0,
+    senders: Optional[Sequence[str]] = None,
+    receivers: Optional[Sequence[str]] = None,
+    pair_senders_receivers: bool = False,
+    max_flows: Optional[int] = None,
+    start_after: float = 0.0,
+) -> WorkloadSpec:
+    """Generate Poisson flow arrivals achieving ``load`` over ``duration`` ms.
+
+    Parameters
+    ----------
+    load:
+        Target offered load as a fraction of the senders' access capacity
+        (0 < load <= 1.2; the paper sweeps 0.1–0.9).
+    pair_senders_receivers:
+        When True, sender ``i`` only talks to receiver ``i`` (the Abilene
+        four-pair setup); otherwise destinations are drawn uniformly from the
+        receiver set (the fat-tree setup).
+    max_flows:
+        Optional safety cap on the number of generated flows.
+    """
+    if not 0.0 < load <= 1.5:
+        raise WorkloadError(f"load must be in (0, 1.5], got {load}")
+    if duration <= 0:
+        raise WorkloadError("duration must be positive")
+
+    if senders is None or receivers is None:
+        default_senders, default_receivers = split_senders_receivers(topology)
+        senders = list(senders) if senders is not None else default_senders
+        receivers = list(receivers) if receivers is not None else default_receivers
+    senders = list(senders)
+    receivers = list(receivers)
+    if pair_senders_receivers and len(senders) != len(receivers):
+        raise WorkloadError("paired workloads need equally many senders and receivers")
+
+    rng = np.random.default_rng(seed)
+    mean_size = distribution.mean()
+    per_sender_rate = load * host_capacity / mean_size  # flows per ms
+
+    flows: List[Flow] = []
+    for index, sender in enumerate(senders):
+        time = start_after
+        while True:
+            time += float(rng.exponential(1.0 / per_sender_rate))
+            if time >= start_after + duration:
+                break
+            if pair_senders_receivers:
+                receiver = receivers[index]
+            else:
+                receiver = str(rng.choice([r for r in receivers if r != sender]))
+            size = int(distribution.sample(rng, 1)[0])
+            flows.append(Flow(src_host=sender, dst_host=receiver,
+                              size_packets=size, start_time=time))
+            if max_flows is not None and len(flows) >= max_flows:
+                break
+        if max_flows is not None and len(flows) >= max_flows:
+            break
+
+    flows.sort(key=lambda f: f.start_time)
+    return WorkloadSpec(
+        flows=flows,
+        senders=senders,
+        receivers=receivers,
+        target_load=load,
+        duration=duration,
+        distribution_name=distribution.name,
+    )

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.builder import minimize, path, rank_tuple
+from repro.core.compiler import compile_policy
+from repro.core.policies import MU
+from repro.topology import abilene, fattree, leafspine
+from repro.topology.graph import Topology
+
+
+@pytest.fixture
+def square_topology() -> Topology:
+    """The 4-switch square used by the paper's Figure 4(b)-(e) scenario.
+
+    S and D are opposite corners, A and B the other two, with an S-D direct
+    link as in Figure 4(f): S-A, A-D, S-B, B-D, S-D, A-B.
+    """
+    topo = Topology("square")
+    for switch in ("S", "A", "B", "D"):
+        topo.add_switch(switch)
+    topo.add_link("S", "A")
+    topo.add_link("A", "D")
+    topo.add_link("S", "B")
+    topo.add_link("B", "D")
+    topo.add_link("S", "D")
+    topo.add_link("A", "B")
+    for switch in ("S", "D"):
+        host = f"h{switch}"
+        topo.add_host(host, switch)
+        topo.add_link(host, switch)
+    return topo
+
+
+@pytest.fixture
+def figure6_topology() -> Topology:
+    """The diamond topology of the paper's running compilation example (Figure 6a).
+
+    Links: A-B, A-C, B-C, B-D, C-D.
+    """
+    topo = Topology("figure6")
+    for switch in ("A", "B", "C", "D"):
+        topo.add_switch(switch)
+    topo.add_link("A", "B")
+    topo.add_link("A", "C")
+    topo.add_link("B", "C")
+    topo.add_link("B", "D")
+    topo.add_link("C", "D")
+    for switch in ("A", "B", "D"):
+        host = f"h{switch}"
+        topo.add_host(host, switch)
+        topo.add_link(host, switch)
+    return topo
+
+
+@pytest.fixture
+def small_leafspine() -> Topology:
+    return leafspine(2, 2, hosts_per_leaf=2, capacity=50.0)
+
+
+@pytest.fixture
+def small_fattree() -> Topology:
+    return fattree(4, capacity=100.0, oversubscription=4.0)
+
+
+@pytest.fixture
+def abilene_topology() -> Topology:
+    return abilene(capacity=50.0, hosts_per_switch=1)
+
+
+@pytest.fixture
+def mu_compiled(small_leafspine):
+    return compile_policy(MU(), small_leafspine)
+
+
+@pytest.fixture
+def dc_policy():
+    """Least-utilized shortest path: the datacenter FCT policy."""
+    return minimize(rank_tuple(path.len, path.util), name="dc")

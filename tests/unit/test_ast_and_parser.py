@@ -1,0 +1,249 @@
+"""Unit tests for the policy AST, the builder API and the textual parser."""
+
+import math
+
+import pytest
+
+from repro.core import ast
+from repro.core.builder import (
+    add,
+    and_,
+    as_bool,
+    as_expr,
+    const,
+    if_,
+    inf,
+    lt,
+    matches,
+    max_of,
+    min_of,
+    minimize,
+    ne,
+    not_,
+    or_,
+    path,
+    rank_tuple,
+    sub,
+)
+from repro.core.parser import parse_expression, parse_policy
+from repro.core.rank import INFINITY, Rank
+from repro.core.regex import parse_regex
+from repro.exceptions import PolicyError, PolicyParseError
+
+
+def ctx(path_nodes, **metrics):
+    return ast.PathContext(path_nodes, metrics)
+
+
+class TestEvaluation:
+    def test_constant(self):
+        assert const(5).evaluate(ctx(["A"])) == Rank(5)
+
+    def test_infinity(self):
+        assert inf.evaluate(ctx(["A"])) == INFINITY
+
+    def test_attribute(self):
+        assert path.util.evaluate(ctx(["A", "B"], util=0.3)) == Rank(0.3)
+
+    def test_len_defaults_from_path(self):
+        assert path.len.evaluate(ctx(["A", "B", "C"])) == Rank(2)
+
+    def test_missing_metric_raises(self):
+        with pytest.raises(PolicyError):
+            path.lat.evaluate(ctx(["A", "B"]))
+
+    def test_addition(self):
+        expr = add(path.len, 10)
+        assert expr.evaluate(ctx(["A", "B", "C"])) == Rank(12)
+
+    def test_subtraction(self):
+        assert sub(const(5), const(2)).evaluate(ctx(["A"])) == Rank(3)
+
+    def test_min_max(self):
+        assert min_of(3, 5).evaluate(ctx(["A"])) == Rank(3)
+        assert max_of(3, 5).evaluate(ctx(["A"])) == Rank(5)
+
+    def test_unknown_binop_rejected(self):
+        with pytest.raises(PolicyError):
+            ast.BinOp("*", const(1), const(2))
+
+    def test_tuple_lexicographic(self):
+        expr = rank_tuple(path.len, path.util)
+        assert expr.evaluate(ctx(["A", "B"], util=0.5)) == Rank((1, 0.5))
+
+    def test_tuple_needs_two_components(self):
+        with pytest.raises(PolicyError):
+            ast.TupleExpr((const(1),))
+
+    def test_conditional_regex_then_branch(self):
+        expr = if_(matches("A .*"), path.util, path.lat)
+        assert expr.evaluate(ctx(["A", "B"], util=0.3, lat=9)) == Rank(0.3)
+
+    def test_conditional_regex_else_branch(self):
+        expr = if_(matches("A .*"), path.util, path.lat)
+        assert expr.evaluate(ctx(["B", "C"], util=0.3, lat=9)) == Rank(9)
+
+    def test_conditional_metric_guard(self):
+        expr = if_(lt(path.util, 0.8), rank_tuple(1, 0, path.util),
+                   rank_tuple(2, path.len, path.util))
+        assert expr.evaluate(ctx(["A", "B"], util=0.5)) == Rank((1, 0, 0.5))
+        assert expr.evaluate(ctx(["A", "B"], util=0.9)) == Rank((2, 1, 0.9))
+
+    def test_regex_results_override_matching(self):
+        pattern = parse_regex("A .*")
+        expr = if_(ast.RegexTest(pattern), 0, 1)
+        context = ast.PathContext(["B"], {}, {pattern: True})
+        assert expr.evaluate(context) == Rank(0)
+
+    def test_boolean_connectives(self):
+        expr = if_(and_(matches(".* W .*"), not_(matches(".* X .*"))), 0, 1)
+        assert expr.evaluate(ctx(["A", "W", "B"])) == Rank(0)
+        assert expr.evaluate(ctx(["A", "W", "X"])) == Rank(1)
+        expr_or = if_(or_(matches("A .*"), matches("B .*")), 0, 1)
+        assert expr_or.evaluate(ctx(["B", "C"])) == Rank(0)
+
+    def test_comparison_operators(self):
+        assert ast.Compare("<=", path.util, const(0.5)).evaluate(ctx(["A", "B"], util=0.5))
+        assert ne(path.len, 3).evaluate(ctx(["A", "B"]))
+        with pytest.raises(PolicyError):
+            ast.Compare("~", const(1), const(2))
+
+    def test_policy_rank_path(self):
+        policy = minimize(if_(matches(".* W .*"), 0, inf))
+        assert policy.rank_path(["A", "W", "B"]) == Rank(0)
+        assert policy.rank_path(["A", "B"]) == INFINITY
+
+
+class TestIntrospection:
+    def test_attributes_collected_from_branches_and_guards(self):
+        policy = minimize(if_(lt(path.util, 0.8), path.lat, path.len))
+        assert policy.attributes() == {"util", "lat", "len"}
+
+    def test_regexes_collected_in_order(self):
+        policy = minimize(if_(matches("A .*"), 0, if_(matches(".* B .*"), 1, inf)))
+        patterns = policy.regexes()
+        assert len(patterns) == 2
+        assert patterns[0] == parse_regex("A .*")
+
+    def test_duplicate_regexes_deduplicated(self):
+        policy = minimize(add(if_(matches(".* W .*"), 1, 0), if_(matches(".* W .*"), 2, 0)))
+        assert len(policy.regexes()) == 1
+
+    def test_policy_str(self):
+        policy = minimize(path.util)
+        assert str(policy) == "minimize(path.util)"
+
+
+class TestBuilder:
+    def test_as_expr_coercions(self):
+        assert isinstance(as_expr(3), ast.Const)
+        assert isinstance(as_expr((1, path.util)), ast.TupleExpr)
+        assert as_expr(path.util) is not None
+        with pytest.raises(PolicyError):
+            as_expr(True)
+        with pytest.raises(PolicyError):
+            as_expr("not an expression")
+
+    def test_as_bool_coercions(self):
+        assert isinstance(as_bool("A .*"), ast.RegexTest)
+        assert isinstance(as_bool(parse_regex("A")), ast.RegexTest)
+        assert isinstance(as_bool(True), ast.BoolConst)
+        with pytest.raises(PolicyError):
+            as_bool(123)
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(PolicyError):
+            path.bandwidth  # noqa: B018 - attribute access is the test
+
+    def test_rank_tuple_single_collapses(self):
+        assert isinstance(rank_tuple(path.util), ast.Attr)
+
+    def test_rank_tuple_empty_raises(self):
+        with pytest.raises(PolicyError):
+            rank_tuple()
+
+    def test_minimize_rejects_booleans(self):
+        with pytest.raises(PolicyError):
+            minimize(True)
+
+
+class TestParser:
+    @pytest.mark.parametrize("text", [
+        "minimize( if A .* then path.util else path.lat )",
+        "minimize( if .* W .* then 0 else inf )",
+        "minimize( if A B D then 0 else if A C D then 1 else inf )",
+        "minimize( if A .* B .* D then (0, path.len, path.util) "
+        "else if A .* C .* D then (1, path.len, path.util) else inf )",
+        "minimize( if path.util < .8 then (1, 0, path.util) else (2, path.len, path.util) )",
+        "minimize( (if .* A B .* then 10 else 0) + (if .* C D .* then 20 else 0) + path.len )",
+        "minimize( path.len )",
+        "minimize( (path.util, path.len) )",
+        "minimize( if .* (F1 + F2) .* then path.util else inf )",
+        "minimize( if .* X Y .* then path.util else inf )",
+        "minimize( if S C E F D + S A E B D then path.util else inf )",
+        "minimize( if .* B A .* then inf else path.util )",
+    ])
+    def test_paper_policies_parse(self, text):
+        policy = parse_policy(text)
+        assert isinstance(policy, ast.Policy)
+
+    def test_parsed_policy_evaluates(self):
+        policy = parse_policy("minimize( if A .* then path.util else path.lat )")
+        assert policy.rank_path(["A", "B"], {"util": 0.3, "lat": 2}) == Rank(0.3)
+        assert policy.rank_path(["B", "A"], {"util": 0.3, "lat": 2}) == Rank(2)
+
+    def test_parsed_guard_policy_evaluates(self):
+        policy = parse_policy(
+            "minimize( if path.util < .8 then (1, 0, path.util) else (2, path.len, path.util) )")
+        assert policy.rank_path(["A", "B"], {"util": 0.2}) == Rank((1, 0, 0.2))
+        assert policy.rank_path(["A", "B", "C"], {"util": 0.9}) == Rank((2, 2, 0.9))
+
+    def test_weighted_link_policy_evaluates(self):
+        policy = parse_policy("minimize( (if .* A B .* then 10 else 0) + path.len )")
+        assert policy.rank_path(["A", "B", "C"]) == Rank(12)
+        assert policy.rank_path(["A", "C"]) == Rank(1)
+
+    def test_unicode_infinity_accepted(self):
+        policy = parse_policy("minimize( if .* W .* then 0 else ∞ )")
+        assert policy.rank_path(["A", "B"]) == INFINITY
+
+    def test_parse_expression_standalone(self):
+        expr = parse_expression("(path.util, path.len)")
+        assert isinstance(expr, ast.TupleExpr)
+
+    def test_missing_minimize_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_policy("path.util")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_policy("minimize( path.util ) extra")
+
+    def test_missing_else_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_policy("minimize( if A .* then path.util )")
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(PolicyParseError):
+            parse_policy("")
+        with pytest.raises(PolicyParseError):
+            parse_expression("")
+
+    def test_comparison_with_parenthesised_left_side(self):
+        policy = parse_policy("minimize( if (path.lat + 1) < 3 then 0 else 1 )")
+        assert policy.rank_path(["A", "B"], {"lat": 1}) == Rank(0)
+        assert policy.rank_path(["A", "B"], {"lat": 5}) == Rank(1)
+
+    def test_boolean_and_or_in_condition(self):
+        policy = parse_policy("minimize( if A .* and .* D then 0 else 1 )")
+        assert policy.rank_path(["A", "C", "D"]) == Rank(0)
+        assert policy.rank_path(["A", "C"]) == Rank(1)
+
+    def test_not_in_condition(self):
+        policy = parse_policy("minimize( if not .* W .* then 0 else 1 )")
+        assert policy.rank_path(["A", "B"]) == Rank(0)
+        assert policy.rank_path(["A", "W"]) == Rank(1)
+
+    def test_min_max_functions(self):
+        policy = parse_policy("minimize( min(path.lat, 5) + max(path.len, 1) )")
+        assert policy.rank_path(["A", "B"], {"lat": 9, "len": 1}) == Rank(6)

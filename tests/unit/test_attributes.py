@@ -1,0 +1,123 @@
+"""Unit tests for path attributes and metric vectors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.attributes import ATTRIBUTES, MetricVector, attribute, metric_names
+from repro.exceptions import PolicyError
+
+
+class TestAttributeRegistry:
+    def test_builtin_attributes_exist(self):
+        assert set(metric_names()) == {"util", "lat", "len"}
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(PolicyError):
+            attribute("bandwidth")
+
+    def test_util_is_max_composed(self):
+        util = attribute("util")
+        assert util.composition == "max"
+        assert util.extend(0.3, 0.7) == 0.7
+        assert util.extend(0.7, 0.3) == 0.7
+
+    def test_lat_is_sum_composed(self):
+        lat = attribute("lat")
+        assert lat.extend(1.0, 0.5) == 1.5
+
+    def test_len_counts_hops(self):
+        length = attribute("len")
+        assert length.extend(2.0, 123.0) == 3.0
+
+    def test_all_builtins_are_monotone(self):
+        for attr in ATTRIBUTES.values():
+            assert attr.is_monotone
+
+    def test_only_util_is_max_like(self):
+        assert attribute("util").is_max_like
+        assert not attribute("lat").is_max_like
+        assert not attribute("len").is_max_like
+
+
+class TestMetricVector:
+    def test_initial_values(self):
+        mv = MetricVector(("util", "len"))
+        assert mv.get("util") == 0.0
+        assert mv.get("len") == 0.0
+
+    def test_explicit_values(self):
+        mv = MetricVector(("util", "lat"), (0.5, 1.0))
+        assert mv.as_dict() == {"util": 0.5, "lat": 1.0}
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(PolicyError):
+            MetricVector(("util",), (1.0, 2.0))
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(PolicyError):
+            MetricVector(("bogus",))
+
+    def test_get_missing_raises(self):
+        mv = MetricVector(("util",))
+        with pytest.raises(PolicyError):
+            mv.get("lat")
+
+    def test_extend_applies_compositions(self):
+        mv = MetricVector(("util", "lat", "len"), (0.4, 1.0, 2.0))
+        extended = mv.extend({"util": 0.6, "lat": 0.25})
+        assert extended.get("util") == 0.6
+        assert extended.get("lat") == 1.25
+        assert extended.get("len") == 3.0
+
+    def test_extend_missing_link_values_default_to_zero(self):
+        mv = MetricVector(("util", "lat"), (0.4, 1.0))
+        extended = mv.extend({})
+        assert extended.get("util") == 0.4
+        assert extended.get("lat") == 1.0
+
+    def test_extend_returns_new_vector(self):
+        mv = MetricVector(("util",), (0.2,))
+        extended = mv.extend({"util": 0.9})
+        assert mv.get("util") == 0.2
+        assert extended.get("util") == 0.9
+
+    def test_replace(self):
+        mv = MetricVector(("util", "len"), (0.2, 3.0))
+        replaced = mv.replace("util", 0.8)
+        assert replaced.get("util") == 0.8
+        assert replaced.get("len") == 3.0
+
+    def test_replace_unknown_raises(self):
+        with pytest.raises(PolicyError):
+            MetricVector(("util",)).replace("lat", 1.0)
+
+    def test_equality_and_hash(self):
+        a = MetricVector(("util",), (0.5,))
+        b = MetricVector(("util",), (0.5,))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != MetricVector(("util",), (0.6,))
+
+    def test_bits_accounting(self):
+        assert MetricVector(("util", "len")).bits() == ATTRIBUTES["util"].bits + ATTRIBUTES["len"].bits
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                    min_size=1, max_size=8))
+    def test_util_extension_is_monotone_nondecreasing(self, link_utils):
+        """Extending a path never decreases the bottleneck utilization."""
+        mv = MetricVector(("util",))
+        previous = 0.0
+        for value in link_utils:
+            mv = mv.extend({"util": value})
+            assert mv.get("util") >= previous
+            previous = mv.get("util")
+        assert mv.get("util") == pytest.approx(max(link_utils))
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                    min_size=1, max_size=8))
+    def test_lat_extension_accumulates_sum(self, latencies):
+        mv = MetricVector(("lat", "len"))
+        for value in latencies:
+            mv = mv.extend({"lat": value})
+        assert mv.get("lat") == pytest.approx(sum(latencies))
+        assert mv.get("len") == len(latencies)

@@ -1,0 +1,133 @@
+"""Unit tests for the NFA/DFA construction used by the compiler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import regex as rx
+from repro.core.automata import DEAD_STATE, DFA, NFA, dfa_from_regex
+
+ALPHABET = ("A", "B", "C", "D", "W")
+switch_ids = st.sampled_from(ALPHABET)
+words = st.lists(switch_ids, min_size=0, max_size=6)
+
+
+def small_regexes():
+    leaf = st.one_of(
+        switch_ids.map(rx.node),
+        st.just(rx.any_node()),
+        st.just(rx.Epsilon()),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda pair: rx.concat(*pair)),
+            st.tuples(children, children).map(lambda pair: rx.union(*pair)),
+            children.map(rx.star),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=8)
+
+
+class TestNFA:
+    def test_single_node(self):
+        nfa = NFA.from_regex(rx.node("A"))
+        assert nfa.accepts(["A"])
+        assert not nfa.accepts(["B"])
+        assert not nfa.accepts([])
+
+    def test_concatenation(self):
+        nfa = NFA.from_regex(rx.parse_regex("A B D"))
+        assert nfa.accepts(["A", "B", "D"])
+        assert not nfa.accepts(["A", "B"])
+
+    def test_union(self):
+        nfa = NFA.from_regex(rx.parse_regex("A + B"))
+        assert nfa.accepts(["A"])
+        assert nfa.accepts(["B"])
+        assert not nfa.accepts(["C"])
+
+    def test_star(self):
+        nfa = NFA.from_regex(rx.parse_regex("A*"))
+        assert nfa.accepts([])
+        assert nfa.accepts(["A", "A", "A"])
+        assert not nfa.accepts(["B"])
+
+    def test_wildcard(self):
+        nfa = NFA.from_regex(rx.parse_regex(". ."))
+        assert nfa.accepts(["X", "Y"])
+        assert not nfa.accepts(["X"])
+
+    def test_empty_set(self):
+        nfa = NFA.from_regex(rx.EmptySet())
+        assert not nfa.accepts([])
+        assert not nfa.accepts(["A"])
+
+    @given(small_regexes(), words)
+    @settings(max_examples=200)
+    def test_nfa_agrees_with_derivative_matching(self, pattern, word):
+        assert NFA.from_regex(pattern).accepts(word) == pattern.matches(word)
+
+
+class TestDFA:
+    def test_waypoint_dfa(self):
+        dfa = dfa_from_regex(rx.parse_regex(".* W .*"), ALPHABET)
+        assert dfa.accepts(["A", "W", "B"])
+        assert dfa.accepts(["W"])
+        assert not dfa.accepts(["A", "B"])
+
+    def test_dead_state_transitions_stay_dead(self):
+        dfa = dfa_from_regex(rx.parse_regex("A B"), ALPHABET)
+        state = dfa.transition(dfa.initial, "B")  # no word starts with B
+        assert state == DEAD_STATE
+        assert dfa.transition(state, "A") == DEAD_STATE
+        assert not dfa.is_accepting(DEAD_STATE)
+
+    def test_symbol_outside_alphabet_goes_dead(self):
+        dfa = dfa_from_regex(rx.parse_regex("A"), ("A",))
+        assert dfa.transition(dfa.initial, "Z") == DEAD_STATE
+
+    def test_minimization_preserves_language(self):
+        pattern = rx.parse_regex("(A + B) (A + B) .*")
+        raw = dfa_from_regex(pattern, ALPHABET, minimize=False)
+        minimized = dfa_from_regex(pattern, ALPHABET, minimize=True)
+        assert minimized.num_states <= raw.num_states
+        for word in (["A"], ["A", "B"], ["B", "A", "C"], ["C", "A"], []):
+            assert raw.accepts(word) == minimized.accepts(word)
+
+    def test_minimization_merges_equivalent_states(self):
+        # A A + A A has redundant states before minimization.
+        pattern = rx.parse_regex("A A + A A")
+        raw = dfa_from_regex(pattern, ("A",), minimize=False)
+        minimized = dfa_from_regex(pattern, ("A",), minimize=True)
+        assert minimized.num_states <= raw.num_states
+
+    def test_live_states_excludes_trap_states(self):
+        # After seeing B the word can never match "A .*": that state is not live.
+        dfa = dfa_from_regex(rx.parse_regex("A .*"), ALPHABET, minimize=False)
+        live = dfa.live_states()
+        dead_successor = dfa.transition(dfa.initial, "B")
+        assert dfa.initial in live
+        assert dead_successor == DEAD_STATE or dead_successor not in live
+
+    def test_states_enumeration(self):
+        dfa = dfa_from_regex(rx.parse_regex("A B"), ALPHABET)
+        assert dfa.initial in dfa.states
+        assert all(s >= 0 for s in dfa.states)
+
+    @given(small_regexes(), words)
+    @settings(max_examples=200)
+    def test_dfa_agrees_with_derivative_matching(self, pattern, word):
+        dfa = dfa_from_regex(pattern, ALPHABET)
+        assert dfa.accepts(word) == pattern.matches(word)
+
+    @given(small_regexes(), words)
+    @settings(max_examples=100)
+    def test_reversed_dfa_accepts_reversed_words(self, pattern, word):
+        """The construction the compiler relies on: run the reversed regex's DFA
+        over the probe's (reversed) path."""
+        dfa = dfa_from_regex(pattern.reverse(), ALPHABET)
+        assert dfa.accepts(list(reversed(word))) == pattern.matches(word)
+
+    def test_repr(self):
+        dfa = dfa_from_regex(rx.parse_regex("A"), ALPHABET)
+        assert "DFA" in repr(dfa)

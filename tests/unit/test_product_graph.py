@@ -1,0 +1,146 @@
+"""Unit tests for product graph construction (§4.1, Figure 6)."""
+
+import pytest
+
+from repro.core.builder import if_, inf, matches, minimize, path
+from repro.core.product_graph import PGNode, build_product_graph
+from repro.core.regex import parse_regex
+from repro.exceptions import CompilationError
+from repro.topology.graph import Topology
+
+
+@pytest.fixture
+def diamond():
+    """The Figure 6(a) topology: A-B, A-C, B-C, B-D, C-D."""
+    topo = Topology("figure6")
+    for switch in ("A", "B", "C", "D"):
+        topo.add_switch(switch)
+    for a, b in (("A", "B"), ("A", "C"), ("B", "C"), ("B", "D"), ("C", "D")):
+        topo.add_link(a, b)
+    return topo
+
+
+class TestTopologyOnlyGraph:
+    def test_no_regexes_gives_one_virtual_node_per_switch(self, diamond):
+        pg = build_product_graph(diamond, [])
+        assert pg.num_nodes == 4
+        assert pg.max_tags_per_switch() == 1
+        for switch in diamond.switches:
+            assert pg.probe_sending_nodes[switch].switch == switch
+
+    def test_edges_follow_topology_links(self, diamond):
+        pg = build_product_graph(diamond, [])
+        node_a = pg.probe_sending_nodes["A"]
+        successors = {n.switch for n in pg.successors(node_a)}
+        assert successors == {"B", "C"}
+
+    def test_acceptance_is_empty_without_regexes(self, diamond):
+        pg = build_product_graph(diamond, [])
+        assert pg.acceptance(pg.probe_sending_nodes["A"]) == ()
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(CompilationError):
+            build_product_graph(Topology("empty"), [])
+
+
+class TestFigure6Example:
+    """The running example: allow A-B-D, allow B .* D by least utilization."""
+
+    @pytest.fixture
+    def pg(self, diamond):
+        regexes = [parse_regex("A B D"), parse_regex("B .* D")]
+        return build_product_graph(diamond, regexes, minimize_tags=False)
+
+    def test_physical_node_b_has_multiple_virtual_nodes(self, pg):
+        assert len(pg.nodes_of_switch("B")) >= 2
+
+    def test_abd_path_is_accepted_for_first_regex(self, pg):
+        acceptance = pg.traffic_path_acceptance(["A", "B", "D"])
+        assert acceptance[parse_regex("A B D")] is True
+        assert acceptance[parse_regex("B .* D")] is False
+
+    def test_bcd_path_is_accepted_for_second_regex(self, pg):
+        acceptance = pg.traffic_path_acceptance(["B", "C", "D"])
+        assert acceptance[parse_regex("A B D")] is False
+        assert acceptance[parse_regex("B .* D")] is True
+
+    def test_acd_path_matches_neither(self, pg):
+        acceptance = pg.traffic_path_acceptance(["A", "C", "D"])
+        assert acceptance[parse_regex("A B D")] is False
+        assert acceptance[parse_regex("B .* D")] is False
+
+    def test_probe_sending_state_of_d_consumed_d(self, pg):
+        node = pg.probe_sending_nodes["D"]
+        assert node.switch == "D"
+        # Probes start having consumed the destination symbol; neither regex
+        # accepts the single-node path "D".
+        assert pg.acceptance(node) == (False, False)
+
+    def test_invalid_traffic_path_returns_none(self, pg):
+        assert pg.trace_traffic_path(["A", "D"]) is None  # no A-D link
+        assert pg.traffic_path_acceptance(["Z", "D"]) is None
+
+    def test_tags_are_unique_per_switch(self, pg):
+        for switch in ("A", "B", "C", "D"):
+            tags = [pg.tag_of(node) for node in pg.nodes_of_switch(switch)]
+            assert len(tags) == len(set(tags))
+
+    def test_node_by_tag_roundtrip(self, pg):
+        for node in pg.nodes:
+            assert pg.node_by_tag(node.switch, pg.tag_of(node)) == node
+
+    def test_node_by_tag_unknown_raises(self, pg):
+        with pytest.raises(CompilationError):
+            pg.node_by_tag("A", 999)
+
+    def test_successor_at_returns_matching_neighbor(self, pg):
+        node_d = pg.probe_sending_nodes["D"]
+        successor = pg.successor_at(node_d, "B")
+        assert successor is not None and successor.switch == "B"
+        assert pg.successor_at(node_d, "A") is None  # D has no link to A
+
+    def test_every_edge_respects_topology(self, pg, diamond):
+        for node, successors in pg.out_edges.items():
+            for successor in successors:
+                assert diamond.has_link(node.switch, successor.switch)
+
+
+class TestWaypointGraph:
+    def test_waypoint_acceptance(self, diamond):
+        pg = build_product_graph(diamond, [parse_regex(".* C .*")])
+        assert pg.traffic_path_acceptance(["A", "C", "D"])[parse_regex(".* C .*")] is True
+        assert pg.traffic_path_acceptance(["A", "B", "D"])[parse_regex(".* C .*")] is False
+
+    def test_acceptance_by_regex_keys_are_original_direction(self, diamond):
+        pattern = parse_regex(".* C .*")
+        pg = build_product_graph(diamond, [pattern])
+        node = pg.probe_sending_nodes["C"]
+        assert pattern in pg.acceptance_by_regex(node)
+
+
+class TestTagMinimization:
+    def test_minimization_never_increases_nodes(self, diamond):
+        regexes = [parse_regex("A B D"), parse_regex("B .* D")]
+        raw = build_product_graph(diamond, regexes, minimize_tags=False)
+        minimized = build_product_graph(diamond, regexes, minimize_tags=True)
+        assert minimized.num_nodes <= raw.num_nodes
+
+    def test_minimization_preserves_acceptance_of_paths(self, diamond):
+        regexes = [parse_regex("A B D"), parse_regex("B .* D"), parse_regex(".* C .*")]
+        raw = build_product_graph(diamond, regexes, minimize_tags=False)
+        minimized = build_product_graph(diamond, regexes, minimize_tags=True)
+        for traffic_path in (["A", "B", "D"], ["B", "C", "D"], ["A", "C", "D"],
+                             ["B", "A", "C", "D"], ["C", "D"]):
+            assert raw.traffic_path_acceptance(traffic_path) == \
+                minimized.traffic_path_acceptance(traffic_path)
+
+    def test_minimization_mapping_is_idempotent(self, diamond):
+        pg = build_product_graph(diamond, [parse_regex(".* C .*")], minimize_tags=False)
+        first = pg.minimize_tags()
+        second = pg.minimize_tags()
+        assert all(node == target for node, target in second.items())
+        assert first  # non-empty mapping
+
+    def test_repr(self, diamond):
+        pg = build_product_graph(diamond, [])
+        assert "ProductGraph" in repr(pg)

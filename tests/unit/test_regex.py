@@ -1,0 +1,182 @@
+"""Unit tests for path regular expressions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import regex as rx
+from repro.exceptions import PolicyParseError
+
+switch_ids = st.sampled_from(["A", "B", "C", "D", "W"])
+paths = st.lists(switch_ids, min_size=0, max_size=6)
+
+
+def regexes(depth: int = 3):
+    """Strategy producing random path regexes of bounded depth."""
+    leaf = st.one_of(
+        switch_ids.map(rx.node),
+        st.just(rx.any_node()),
+        st.just(rx.Epsilon()),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda pair: rx.concat(*pair)),
+            st.tuples(children, children).map(lambda pair: rx.union(*pair)),
+            children.map(rx.star),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=depth * 3)
+
+
+class TestParsing:
+    @pytest.mark.parametrize("text", [
+        "A", ".", "A B D", "A .*", ".* W .*", "A + B", "(A + B) C", "A .* B .* D",
+        ".* (F1 + F2) .*", "S C E F D + S A E B D",
+    ])
+    def test_valid_patterns_parse(self, text):
+        assert isinstance(rx.parse_regex(text), rx.PathRegex)
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(PolicyParseError):
+            rx.parse_regex("   ")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(PolicyParseError):
+            rx.parse_regex("(A B")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(PolicyParseError):
+            rx.parse_regex("A @ B")
+
+    def test_dangling_plus_rejected(self):
+        with pytest.raises(PolicyParseError):
+            rx.parse_regex("A +")
+
+    def test_star_binds_tighter_than_concat(self):
+        pattern = rx.parse_regex("A B*")
+        assert pattern.matches(["A"])
+        assert pattern.matches(["A", "B", "B"])
+        assert not pattern.matches(["A", "B", "A"])
+
+    def test_union_binds_loosest(self):
+        pattern = rx.parse_regex("A B + C")
+        assert pattern.matches(["A", "B"])
+        assert pattern.matches(["C"])
+        assert not pattern.matches(["A", "C"])
+
+
+class TestMatching:
+    def test_single_node(self):
+        assert rx.parse_regex("A").matches(["A"])
+        assert not rx.parse_regex("A").matches(["B"])
+        assert not rx.parse_regex("A").matches([])
+
+    def test_wildcard_matches_any_single_node(self):
+        dot = rx.parse_regex(".")
+        assert dot.matches(["X"])
+        assert not dot.matches(["X", "Y"])
+
+    def test_concatenation(self):
+        pattern = rx.parse_regex("A B D")
+        assert pattern.matches(["A", "B", "D"])
+        assert not pattern.matches(["A", "D"])
+        assert not pattern.matches(["A", "B", "D", "D"])
+
+    def test_waypoint_pattern(self):
+        pattern = rx.parse_regex(".* W .*")
+        assert pattern.matches(["W"])
+        assert pattern.matches(["A", "W", "B"])
+        assert pattern.matches(["W", "B"])
+        assert not pattern.matches(["A", "B"])
+
+    def test_source_prefix_pattern(self):
+        pattern = rx.parse_regex("A .*")
+        assert pattern.matches(["A"])
+        assert pattern.matches(["A", "B", "C"])
+        assert not pattern.matches(["B", "A"])
+
+    def test_forbidden_subpath_pattern(self):
+        pattern = rx.parse_regex(".* B A .*")
+        assert pattern.matches(["B", "A"])
+        assert pattern.matches(["S", "B", "A", "D"])
+        assert not pattern.matches(["S", "A", "B", "D"])
+
+    def test_union_of_concrete_paths(self):
+        pattern = rx.parse_regex("S C E F D + S A E B D")
+        assert pattern.matches(["S", "C", "E", "F", "D"])
+        assert pattern.matches(["S", "A", "E", "B", "D"])
+        assert not pattern.matches(["S", "C", "E", "B", "D"])
+
+    def test_epsilon_matches_only_empty(self):
+        assert rx.Epsilon().matches([])
+        assert not rx.Epsilon().matches(["A"])
+
+    def test_empty_set_matches_nothing(self):
+        assert not rx.EmptySet().matches([])
+        assert not rx.EmptySet().matches(["A"])
+
+    def test_star_of_union(self):
+        pattern = rx.parse_regex("(A + B)*")
+        assert pattern.matches([])
+        assert pattern.matches(["A", "B", "A"])
+        assert not pattern.matches(["A", "C"])
+
+
+class TestReversal:
+    def test_concrete_path_reversal(self):
+        pattern = rx.parse_regex("A B D")
+        assert pattern.reverse().matches(["D", "B", "A"])
+        assert not pattern.reverse().matches(["A", "B", "D"])
+
+    def test_waypoint_reversal_symmetric(self):
+        pattern = rx.parse_regex(".* W .*")
+        assert pattern.reverse().matches(["X", "W", "Y"])
+
+    def test_double_reverse_matches_original(self):
+        pattern = rx.parse_regex("A (B + C)* D")
+        assert pattern.reverse().reverse().matches(["A", "B", "C", "D"])
+        assert not pattern.reverse().reverse().matches(["D", "A"])
+
+    @given(regexes(), paths)
+    def test_reverse_matches_reversed_words(self, pattern, word):
+        assert pattern.matches(word) == pattern.reverse().matches(list(reversed(word)))
+
+    @given(regexes(), paths)
+    def test_double_reverse_is_identity_on_language(self, pattern, word):
+        assert pattern.matches(word) == pattern.reverse().reverse().matches(word)
+
+
+class TestStructure:
+    def test_node_ids_collects_all_switches(self):
+        pattern = rx.parse_regex("A (B + C)* .")
+        assert pattern.node_ids() == {"A", "B", "C"}
+
+    def test_smart_constructors_simplify(self):
+        assert rx.concat(rx.Epsilon(), rx.node("A")) == rx.node("A")
+        assert isinstance(rx.concat(rx.EmptySet(), rx.node("A")), rx.EmptySet)
+        assert rx.union(rx.EmptySet(), rx.node("A")) == rx.node("A")
+        assert rx.union(rx.node("A"), rx.node("A")) == rx.node("A")
+        assert rx.star(rx.EmptySet()) == rx.Epsilon()
+        assert rx.star(rx.star(rx.node("A"))) == rx.star(rx.node("A"))
+
+    def test_equality_and_hash(self):
+        a = rx.parse_regex("A B")
+        b = rx.parse_regex("A B")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != rx.parse_regex("B A")
+
+    def test_operator_sugar(self):
+        pattern = rx.node("A") >> rx.node("B")
+        assert pattern.matches(["A", "B"])
+        alt = rx.node("A") + rx.node("B")
+        assert alt.matches(["A"]) and alt.matches(["B"])
+
+    def test_str_rendering(self):
+        assert "A" in str(rx.parse_regex("A B*"))
+        assert "*" in str(rx.parse_regex("A*"))
+
+    def test_nullable(self):
+        assert rx.parse_regex("A*").nullable()
+        assert not rx.parse_regex("A").nullable()
+        assert rx.parse_regex("A* + B").nullable()

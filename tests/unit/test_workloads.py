@@ -1,0 +1,174 @@
+"""Unit tests for workload distributions and generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import WorkloadError
+from repro.topology import fattree, leafspine
+from repro.workloads import (
+    CACHE_CDF,
+    WEB_SEARCH_CDF,
+    EmpiricalCDF,
+    cache_distribution,
+    distribution_by_name,
+    generate_workload,
+    random_pairs,
+    split_senders_receivers,
+    uniform_distribution,
+    web_search_distribution,
+)
+
+
+class TestEmpiricalCDF:
+    def test_builtin_cdfs_are_valid(self):
+        assert WEB_SEARCH_CDF.points[-1][0] == 1.0
+        assert CACHE_CDF.points[-1][0] == 1.0
+
+    def test_web_search_is_heavier_tailed_than_cache(self):
+        assert WEB_SEARCH_CDF.mean() > CACHE_CDF.mean()
+        assert WEB_SEARCH_CDF.quantile(0.99) > CACHE_CDF.quantile(0.99)
+
+    def test_sampling_respects_bounds(self):
+        rng = np.random.default_rng(0)
+        samples = WEB_SEARCH_CDF.sample(rng, 1000)
+        assert samples.min() >= 1
+        assert samples.max() <= WEB_SEARCH_CDF.points[-1][1]
+
+    def test_sampling_is_deterministic_given_seed(self):
+        a = WEB_SEARCH_CDF.sample(np.random.default_rng(7), 100)
+        b = WEB_SEARCH_CDF.sample(np.random.default_rng(7), 100)
+        assert (a == b).all()
+
+    def test_median_sample_close_to_cdf_median(self):
+        rng = np.random.default_rng(1)
+        samples = CACHE_CDF.sample(rng, 5000)
+        assert abs(np.median(samples) - CACHE_CDF.quantile(0.5)) <= 2
+
+    def test_scaled_distribution_shrinks_sizes(self):
+        scaled = web_search_distribution(0.1)
+        assert scaled.mean() < WEB_SEARCH_CDF.mean()
+        assert scaled.points[0][1] >= 1
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            web_search_distribution(0)
+
+    def test_uniform_distribution(self):
+        dist = uniform_distribution(5, 10)
+        rng = np.random.default_rng(0)
+        samples = dist.sample(rng, 200)
+        assert samples.min() >= 5 and samples.max() <= 10
+        with pytest.raises(WorkloadError):
+            uniform_distribution(10, 5)
+
+    def test_invalid_cdfs_rejected(self):
+        with pytest.raises(WorkloadError):
+            EmpiricalCDF("bad", ((0.0, 1),))
+        with pytest.raises(WorkloadError):
+            EmpiricalCDF("bad", ((0.0, 5), (0.5, 3), (1.0, 10)))
+        with pytest.raises(WorkloadError):
+            EmpiricalCDF("bad", ((0.0, 1), (0.9, 10)))
+
+    def test_distribution_by_name(self):
+        assert distribution_by_name("web_search").name.startswith("web_search")
+        assert distribution_by_name("cache").name.startswith("cache")
+        with pytest.raises(WorkloadError):
+            distribution_by_name("hadoop")
+
+
+class TestSenderReceiverSelection:
+    def test_split_interleaves_hosts(self):
+        topo = fattree(4)
+        senders, receivers = split_senders_receivers(topo)
+        assert len(senders) + len(receivers) == len(topo.hosts)
+        assert not set(senders) & set(receivers)
+
+    def test_split_requires_two_hosts(self):
+        topo = leafspine(1, 1, hosts_per_leaf=1)
+        with pytest.raises(WorkloadError):
+            split_senders_receivers(topo)
+
+    def test_random_pairs_distinct_switches(self):
+        topo = fattree(4)
+        senders, receivers = random_pairs(topo, 4, seed=0)
+        assert len(senders) == len(receivers) == 4
+        for s, r in zip(senders, receivers):
+            assert topo.attachment_switch(s) != topo.attachment_switch(r)
+
+    def test_random_pairs_deterministic(self):
+        topo = fattree(4)
+        assert random_pairs(topo, 4, seed=3) == random_pairs(topo, 4, seed=3)
+
+
+class TestGenerateWorkload:
+    def test_flows_sorted_and_within_duration(self):
+        topo = leafspine(2, 2, hosts_per_leaf=2)
+        spec = generate_workload(topo, uniform_distribution(1, 5), load=0.5,
+                                 duration=10.0, host_capacity=10.0, seed=0)
+        times = [f.start_time for f in spec.flows]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 10.0 for t in times)
+        assert all(f.src_host != f.dst_host for f in spec.flows)
+
+    def test_load_targets_offered_load(self):
+        topo = fattree(4)
+        spec = generate_workload(topo, uniform_distribution(4, 4), load=0.5,
+                                 duration=200.0, host_capacity=10.0, seed=1)
+        assert spec.offered_load(10.0) == pytest.approx(0.5, rel=0.2)
+
+    def test_higher_load_generates_more_packets(self):
+        topo = leafspine(2, 2, hosts_per_leaf=2)
+        low = generate_workload(topo, uniform_distribution(2, 6), load=0.2,
+                                duration=50.0, seed=2)
+        high = generate_workload(topo, uniform_distribution(2, 6), load=0.8,
+                                 duration=50.0, seed=2)
+        assert high.total_packets > low.total_packets
+
+    def test_paired_mode_respects_pairs(self):
+        topo = fattree(4)
+        senders, receivers = random_pairs(topo, 3, seed=0)
+        spec = generate_workload(topo, uniform_distribution(1, 3), load=0.3, duration=20.0,
+                                 senders=senders, receivers=receivers,
+                                 pair_senders_receivers=True, seed=0)
+        mapping = dict(zip(senders, receivers))
+        assert all(mapping[f.src_host] == f.dst_host for f in spec.flows)
+
+    def test_paired_mode_requires_equal_lengths(self):
+        topo = fattree(4)
+        with pytest.raises(WorkloadError):
+            generate_workload(topo, uniform_distribution(1, 3), load=0.3, duration=10.0,
+                              senders=["h0_0_0"], receivers=["h1_0_0", "h2_0_0"],
+                              pair_senders_receivers=True)
+
+    def test_invalid_load_rejected(self):
+        topo = leafspine(2, 2, hosts_per_leaf=1)
+        with pytest.raises(WorkloadError):
+            generate_workload(topo, uniform_distribution(), load=0.0, duration=10.0)
+        with pytest.raises(WorkloadError):
+            generate_workload(topo, uniform_distribution(), load=2.0, duration=10.0)
+        with pytest.raises(WorkloadError):
+            generate_workload(topo, uniform_distribution(), load=0.5, duration=0.0)
+
+    def test_max_flows_cap(self):
+        topo = fattree(4)
+        spec = generate_workload(topo, uniform_distribution(1, 2), load=0.9,
+                                 duration=100.0, max_flows=10, seed=0)
+        assert len(spec.flows) <= 10
+
+    def test_determinism(self):
+        topo = leafspine(2, 2, hosts_per_leaf=2)
+        a = generate_workload(topo, cache_distribution(), load=0.5, duration=20.0, seed=9)
+        b = generate_workload(topo, cache_distribution(), load=0.5, duration=20.0, seed=9)
+        assert [(f.src_host, f.dst_host, f.size_packets, f.start_time) for f in a.flows] == \
+            [(f.src_host, f.dst_host, f.size_packets, f.start_time) for f in b.flows]
+
+    @given(st.floats(min_value=0.1, max_value=0.9), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=15, deadline=None)
+    def test_any_load_and_seed_produce_valid_workloads(self, load, seed):
+        topo = leafspine(2, 2, hosts_per_leaf=2)
+        spec = generate_workload(topo, cache_distribution(0.5), load=load,
+                                 duration=20.0, seed=seed)
+        assert all(f.size_packets >= 1 for f in spec.flows)
+        assert all(f.src_host in spec.senders for f in spec.flows)
+        assert all(f.dst_host in spec.receivers for f in spec.flows)
