@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.protocol.tables import packet_flow_hash
 from repro.simulator.network import Network, RoutingSystem
 from repro.simulator.packet import Packet
 from repro.simulator.switchnode import RoutingLogic
@@ -47,16 +48,27 @@ class _HashingLogic(RoutingLogic):
 
     def __init__(self, system: "EcmpSystem"):
         self.system = system
+        self._rows: Optional[Dict[str, List[str]]] = None
 
     def on_data_packet(self, packet: Packet, inport: str) -> Optional[str]:
-        hops = self.system.next_hops(self.switch.name, packet.dst_switch)
+        rows = self._rows
+        if rows is None:  # the table is computed in prepare(), after wiring
+            rows = self._rows = self.system._table.get(self.switch.name, {})
+        hops = rows.get(packet.dst_switch)
         if not hops:
             return None
-        usable = [h for h in hops if not self.switch.link_failed(h)]
+        # Fast path: hash across the full hop set; only when the chosen link
+        # is down re-hash across the live subset (identical to hashing the
+        # live subset directly whenever nothing has failed).
+        choice = hops[packet_flow_hash(packet) % len(hops)]
+        ports = self.switch.ports
+        link = ports.get(choice)
+        if link is not None and not link.failed:
+            return choice
+        usable = [h for h in hops if h in ports and not ports[h].failed]
         if not usable:
             return None
-        index = hash(packet.flow_key()) % len(usable)
-        return usable[index]
+        return usable[packet_flow_hash(packet) % len(usable)]
 
 
 class EcmpSystem(RoutingSystem):

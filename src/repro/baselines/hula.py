@@ -25,7 +25,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.protocol.tables import FlowletTable
+from repro.protocol.tables import FlowletTable, packet_flow_hash
 from repro.simulator.network import Network, RoutingSystem
 from repro.simulator.packet import BASE_PROBE_BYTES, Packet, PacketKind
 from repro.simulator.switchnode import RoutingLogic
@@ -36,7 +36,7 @@ __all__ = ["HulaSystem", "HulaRouting"]
 _HULA_PROBE_BYTES = BASE_PROBE_BYTES + 8
 
 
-@dataclass
+@dataclass(slots=True)
 class _BestHop:
     next_hop: str
     utilization: float
@@ -71,10 +71,26 @@ class HulaSystem(RoutingSystem):
         return logic
 
     def start(self, network: Network) -> None:
-        for switch in network.destination_switches():
-            self._logics[switch].start_probing()
-        for logic in self._logics.values():
-            logic.start_failure_detection()
+        # One recurring engine event coalesces every per-switch round of a
+        # probe period (and one more the failure checks); see ContraSystem.
+        origins = [self._logics[switch] for switch in network.destination_switches()]
+        if origins:
+            network.sim.schedule_periodic(self.probe_period, self._probe_all, origins)
+        logics = list(self._logics.values())
+        if logics:
+            network.sim.schedule_periodic(
+                self.probe_period, self._failure_check_all, logics,
+                start_delay=self.probe_period * self.failure_periods)
+
+    @staticmethod
+    def _probe_all(origins: List["HulaRouting"]) -> None:
+        for logic in origins:
+            logic.probe_round()
+
+    @staticmethod
+    def _failure_check_all(logics: List["HulaRouting"]) -> None:
+        for logic in logics:
+            logic.failure_check()
 
     def logic(self, switch: str) -> "HulaRouting":
         return self._logics[switch]
@@ -101,19 +117,20 @@ class HulaRouting(RoutingLogic):
             self._believed_failed[neighbor] = False
 
     def start_probing(self) -> None:
-        self.network.sim.schedule(0.0, self._probe_round)
+        self.network.sim.schedule_periodic(self.system.probe_period, self.probe_round)
 
     def start_failure_detection(self) -> None:
         period = self.system.probe_period
-        self.network.sim.schedule(period * self.system.failure_periods, self._failure_check)
+        self.network.sim.schedule_periodic(
+            period, self.failure_check,
+            start_delay=period * self.system.failure_periods)
 
     # ------------------------------------------------------------------ probes
 
-    def _probe_round(self) -> None:
+    def probe_round(self) -> None:
         self._version += 1
         for neighbor in self._downstream_neighbors(self.name, origin=self.name):
             self._send_probe(neighbor, origin=self.name, version=self._version, util=0.0)
-        self.network.sim.schedule(self.system.probe_period, self._probe_round)
 
     def _downstream_neighbors(self, switch: str, origin: str) -> List[str]:
         """Neighbours strictly farther from ``origin`` (the shortest-path DAG)."""
@@ -149,8 +166,9 @@ class HulaRouting(RoutingLogic):
         version = int(data["version"])
         if origin == self.name:
             return
-        # Bottleneck utilization of the traffic-direction link (this -> inport).
-        util = max(float(data["util"]), self.switch.link_metrics(inport)["util"])
+        # Bottleneck utilization of the traffic-direction link (this -> inport),
+        # including standing-queue pressure (same estimator Contra reads).
+        util = max(float(data["util"]), self.switch.egress(inport).congestion)
 
         entry = self.best.get(origin)
         accept = (
@@ -170,7 +188,7 @@ class HulaRouting(RoutingLogic):
     def on_data_packet(self, packet: Packet, inport: str) -> Optional[str]:
         destination = packet.dst_switch
         now = self.network.sim.now
-        fid = self.flowlets.flowlet_id(packet.flow_key())
+        fid = packet_flow_hash(packet) % self.flowlets.slots
 
         pinned = self.flowlets.lookup(destination, 0, 0, fid, now)
         if pinned is not None and self._usable(pinned.next_hop):
@@ -213,7 +231,7 @@ class HulaRouting(RoutingLogic):
 
     # ---------------------------------------------------------------- failures
 
-    def _failure_check(self) -> None:
+    def failure_check(self) -> None:
         now = self.network.sim.now
         window = self.system.probe_period * self.system.failure_periods
         for neighbor, last_seen in self._last_probe_from.items():
@@ -224,4 +242,3 @@ class HulaRouting(RoutingLogic):
                 self.network.stats.flowlet_expirations += self.flowlets.expire_via(neighbor)
             elif not silent:
                 self._believed_failed[neighbor] = False
-        self.network.sim.schedule(self.system.probe_period, self._failure_check)

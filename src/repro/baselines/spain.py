@@ -24,6 +24,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.protocol.tables import packet_flow_hash
 from repro.simulator.network import Network, RoutingSystem
 from repro.simulator.packet import Packet
 from repro.simulator.switchnode import RoutingLogic
@@ -138,7 +139,7 @@ class SpainSystem(RoutingSystem):
         candidates = self.paths.get((switch.name, packet.dst_switch), [])
         if not candidates:
             return None
-        start = hash(packet.flow_key()) % len(candidates)
+        start = packet_flow_hash(packet) % len(candidates)
         for offset in range(len(candidates)):
             path = candidates[(start + offset) % len(candidates)]
             if all(not switch.network.link(a, b).failed for a, b in zip(path, path[1:])):

@@ -6,12 +6,16 @@
   statistics (optionally dumping the generated P4-style programs);
 * ``contra experiment`` — run one of the evaluation experiments and print the
   same table the corresponding benchmark regenerates;
+* ``contra run-grid`` — run a named experiment scenario through the parallel
+  grid runner (``--processes`` fans the (system × load × seed) points across
+  cores) and optionally dump the results as JSON;
 * ``contra policies`` — list the built-in Figure 3 policies.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -19,17 +23,8 @@ from typing import List, Optional
 from repro.core.compiler import compile_policy
 from repro.core.parser import parse_policy
 from repro.core.policies import ALL_POLICIES
-from repro.experiments import report
-from repro.experiments.ablations import (
-    run_flowlet_timeout_ablation,
-    run_probe_period_ablation,
-    run_versioning_ablation,
-)
-from repro.experiments.config import config_from_env, default_config, quick_config
-from repro.experiments.failure_recovery import run_failure_recovery
-from repro.experiments.fct import run_abilene_fct, run_fattree_fct, run_queue_cdf
-from repro.experiments.overhead import run_overhead_experiment
-from repro.experiments.scalability import run_scalability_sweep
+from repro.experiments.config import config_from_env, default_config, full_config, quick_config
+from repro.experiments.registry import run_scenario, scenario_names
 from repro.topology import (
     abilene,
     builtin_topologies,
@@ -41,10 +36,6 @@ from repro.topology import (
 )
 
 __all__ = ["main"]
-
-_EXPERIMENTS = (
-    "fig9-10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ablations",
-)
 
 
 def _build_topology(args: argparse.Namespace):
@@ -101,35 +92,42 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_config(preset: str):
+    return {
+        "quick": quick_config,
+        "default": default_config,
+        "full": full_config,
+    }.get(preset, config_from_env)()
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    config = {"quick": quick_config(), "default": default_config()}.get(
-        args.preset, config_from_env())
-    name = args.name
-    if name == "fig9-10":
-        points = run_scalability_sweep(fattree_sizes=(20, 125), random_sizes=(100, 200))
-        print(report.format_scalability(points))
-    elif name == "fig11":
-        print(report.format_fct(run_fattree_fct(config), "Figure 11: symmetric fat-tree FCT"))
-    elif name == "fig12":
-        print(report.format_fct(run_fattree_fct(config, asymmetric=True),
-                                "Figure 12: asymmetric fat-tree FCT"))
-    elif name == "fig13":
-        print(report.format_queue_cdf(run_queue_cdf(config)))
-    elif name == "fig14":
-        print(report.format_recovery(run_failure_recovery(config)))
-    elif name == "fig15":
-        print(report.format_fct(run_abilene_fct(config), "Figure 15: Abilene FCT"))
-    elif name == "fig16":
-        print(report.format_overhead(run_overhead_experiment(config)))
-    elif name == "ablations":
-        print(report.format_ablation(run_probe_period_ablation(config), "Probe period ablation"))
-        print()
-        print(report.format_ablation(run_flowlet_timeout_ablation(config),
-                                     "Flowlet timeout ablation"))
-        print()
-        print(report.format_ablation(run_versioning_ablation(config), "Versioning ablation"))
-    else:
-        raise SystemExit(f"unknown experiment {name!r}; available: {_EXPERIMENTS}")
+    try:
+        outcome = run_scenario(args.name, _resolve_config(args.preset))
+    except KeyError as error:
+        raise SystemExit(str(error))
+    print(outcome.text)
+    return 0
+
+
+def _cmd_run_grid(args: argparse.Namespace) -> int:
+    config = _resolve_config(args.preset)
+    if args.json is not None and not Path(args.json).parent.is_dir():
+        # Fail before the experiment runs, not after minutes of simulation.
+        raise SystemExit(f"--json: directory {Path(args.json).parent} does not exist")
+    try:
+        outcome = run_scenario(args.name, config, processes=args.processes)
+    except KeyError as error:
+        raise SystemExit(str(error))
+    print(outcome.text)
+    if args.json is not None:
+        path = Path(args.json)
+        path.write_text(json.dumps({
+            "scenario": outcome.name,
+            "preset": args.preset,
+            "processes": args.processes,
+            "results": outcome.payload,
+        }, indent=2, sort_keys=True, default=str) + "\n")
+        print(f"wrote {path}")
     return 0
 
 
@@ -154,9 +152,23 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.set_defaults(func=_cmd_compile)
 
     experiment = sub.add_parser("experiment", help="run one evaluation experiment")
-    experiment.add_argument("name", choices=_EXPERIMENTS)
-    experiment.add_argument("--preset", choices=("quick", "default", "env"), default="quick")
+    experiment.add_argument("name", choices=tuple(scenario_names()))
+    experiment.add_argument("--preset", choices=("quick", "default", "full", "env"),
+                            default="quick")
     experiment.set_defaults(func=_cmd_experiment)
+
+    run_grid = sub.add_parser(
+        "run-grid",
+        help="run a named scenario through the parallel grid runner")
+    run_grid.add_argument("name", choices=tuple(scenario_names()))
+    run_grid.add_argument("--preset", choices=("quick", "default", "full", "env"),
+                          default="quick")
+    run_grid.add_argument("--processes", type=int, default=None,
+                          help="worker processes (default: $CONTRA_PROCS or serial; "
+                               "0 = one per core)")
+    run_grid.add_argument("--json", metavar="PATH", default=None,
+                          help="also dump the scenario results as JSON to PATH")
+    run_grid.set_defaults(func=_cmd_run_grid)
     return parser
 
 

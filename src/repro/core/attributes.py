@@ -112,6 +112,18 @@ class MetricVector:
             if len(self._values) != len(self._names):
                 raise PolicyError("metric vector length mismatch")
 
+    @classmethod
+    def _make(cls, names: Tuple[str, ...], values: Tuple[float, ...]) -> "MetricVector":
+        """Internal fast constructor for already-validated name/value tuples.
+
+        Probe processing builds one vector per hop; skipping re-validation of
+        the (fixed) attribute names keeps that on the hot path budget.
+        """
+        vector = object.__new__(cls)
+        vector._names = names
+        vector._values = values
+        return vector
+
     @property
     def names(self) -> Tuple[str, ...]:
         return self._names
@@ -136,11 +148,10 @@ class MetricVector:
         ``link_values`` maps attribute name to the link's value (``count``
         attributes ignore it).  Missing link values default to 0.
         """
-        new_values = []
-        for name, acc in zip(self._names, self._values):
-            attr = ATTRIBUTES[name]
-            new_values.append(attr.extend(acc, float(link_values.get(name, 0.0))))
-        return MetricVector(self._names, new_values)
+        new_values = tuple(
+            ATTRIBUTES[name].extend(acc, float(link_values.get(name, 0.0)))
+            for name, acc in zip(self._names, self._values))
+        return MetricVector._make(self._names, new_values)
 
     def replace(self, name: str, value: float) -> "MetricVector":
         """A new vector with one attribute overwritten."""

@@ -59,6 +59,19 @@ class Rank:
                 raise PolicyError(f"invalid rank component {v!r}")
         self._values = tuple(flat)
 
+    @classmethod
+    def of_values(cls, values: Tuple[float, ...]) -> "Rank":
+        """Internal fast constructor for an already-flat tuple of floats.
+
+        Skips the flattening/validation pass of ``__init__``; callers must
+        guarantee a non-empty tuple of floats (no NaN).  Hot paths (probe
+        processing) construct one rank per accepted probe, where the checked
+        constructor showed up prominently in profiles.
+        """
+        rank = object.__new__(cls)
+        rank._values = values
+        return rank
+
     # ------------------------------------------------------------- accessors
 
     @property

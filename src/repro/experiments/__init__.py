@@ -24,9 +24,15 @@ from repro.experiments.fct import (
 )
 from repro.experiments.overhead import OverheadPoint, run_overhead_experiment
 from repro.experiments.runner import (
+    RunContext,
+    RunResult,
+    ScenarioSpec,
     SimulationResult,
+    TopologySpec,
     build_routing_system,
     datacenter_policy,
+    grid_map,
+    run_grid,
     run_simulation,
     wan_policy,
 )
@@ -71,5 +77,11 @@ __all__ = [
     "run_simulation",
     "datacenter_policy",
     "wan_policy",
+    "ScenarioSpec",
+    "TopologySpec",
+    "RunContext",
+    "RunResult",
+    "run_grid",
+    "grid_map",
     "report",
 ]

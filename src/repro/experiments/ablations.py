@@ -11,6 +11,10 @@ design section argues for; DESIGN.md lists them as the extension experiments:
   re-creates the loop hazard of a naive distance-vector protocol;
 * **tag minimisation** (§6.1/§6.2) — effect of the compiler optimisation on
   the number of tags and on switch state.
+
+The simulation ablations are grid scenarios with protocol overrides
+(``probe_period`` / ``flowlet_timeout`` / ``use_versioning``), so one sweep
+fans its parameter points across cores.
 """
 
 from __future__ import annotations
@@ -20,11 +24,9 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.compiler import CompileOptions, compile_policy
 from repro.experiments.config import ExperimentConfig, default_config
-from repro.experiments.runner import datacenter_policy, run_simulation
+from repro.experiments.fct import fattree_spec
+from repro.experiments.runner import RunResult, ScenarioSpec, run_grid
 from repro.experiments.scalability import waypoint_policy_for
-from repro.protocol import ContraSystem
-from repro.topology.fattree import fattree
-from repro.workloads import distribution_by_name, generate_workload
 
 __all__ = [
     "AblationPoint",
@@ -49,22 +51,7 @@ class AblationPoint:
     flows: int
 
 
-def _fattree_workload(config: ExperimentConfig, load: float):
-    topology = fattree(config.fattree_k, capacity=config.host_capacity,
-                       oversubscription=config.oversubscription)
-    distribution = distribution_by_name("web_search", config.websearch_scale)
-    spec = generate_workload(topology, distribution, load=load,
-                             duration=config.workload_duration,
-                             host_capacity=config.host_capacity, seed=config.seed,
-                             start_after=config.warmup)
-    return topology, spec
-
-
-def _run(topology, spec, config: ExperimentConfig, system: ContraSystem,
-         parameter: str, value: float) -> AblationPoint:
-    result = run_simulation(topology, system, spec.flows, config,
-                            system_name="contra", load=spec.target_load,
-                            workload_name=spec.distribution_name)
+def _to_point(parameter: str, value: float, result: RunResult) -> AblationPoint:
     summary = result.summary
     return AblationPoint(
         parameter=parameter,
@@ -78,59 +65,66 @@ def _run(topology, spec, config: ExperimentConfig, system: ContraSystem,
     )
 
 
+def _contra_spec(config: ExperimentConfig, load: float, name: str, **overrides) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        system="contra",
+        topology=fattree_spec(config),
+        config=config,
+        policy="datacenter",
+        workload="web_search",
+        load=load,
+        seed=config.seed,
+        **overrides,
+    )
+
+
 def run_probe_period_ablation(
     config: Optional[ExperimentConfig] = None,
     periods: Sequence[float] = (0.128, 0.256, 0.512, 1.024),
     load: float = 0.6,
+    processes: Optional[int] = None,
 ) -> List[AblationPoint]:
     """FCT and overhead as a function of the probe period (§5.2)."""
     config = config or default_config()
-    topology, spec = _fattree_workload(config, load)
-    compiled = compile_policy(datacenter_policy(), topology)
-    points = []
-    for period in periods:
-        system = ContraSystem(compiled, probe_period=period,
-                              flowlet_timeout=config.flowlet_timeout,
-                              failure_periods=config.failure_periods)
-        points.append(_run(topology, spec, config, system, "probe_period_ms", period))
-    return points
+    specs = [_contra_spec(config, load, f"ablation:probe-period:{period}",
+                          probe_period=period)
+             for period in periods]
+    results = run_grid(specs, processes)
+    return [_to_point("probe_period_ms", period, result)
+            for period, result in zip(periods, results)]
 
 
 def run_flowlet_timeout_ablation(
     config: Optional[ExperimentConfig] = None,
     timeouts: Sequence[float] = (0.05, 0.2, 0.8, 3.2),
     load: float = 0.6,
+    processes: Optional[int] = None,
 ) -> List[AblationPoint]:
     """FCT as a function of the flowlet timeout (§5.3)."""
     config = config or default_config()
-    topology, spec = _fattree_workload(config, load)
-    compiled = compile_policy(datacenter_policy(), topology)
-    points = []
-    for timeout in timeouts:
-        system = ContraSystem(compiled, probe_period=config.probe_period,
-                              flowlet_timeout=timeout,
-                              failure_periods=config.failure_periods)
-        points.append(_run(topology, spec, config, system, "flowlet_timeout_ms", timeout))
-    return points
+    specs = [_contra_spec(config, load, f"ablation:flowlet-timeout:{timeout}",
+                          flowlet_timeout=timeout)
+             for timeout in timeouts]
+    results = run_grid(specs, processes)
+    return [_to_point("flowlet_timeout_ms", timeout, result)
+            for timeout, result in zip(timeouts, results)]
 
 
 def run_versioning_ablation(
     config: Optional[ExperimentConfig] = None,
     load: float = 0.6,
+    processes: Optional[int] = None,
 ) -> List[AblationPoint]:
     """Versioned probes (§5.1) vs an unversioned distance-vector variant."""
     config = config or default_config()
-    topology, spec = _fattree_workload(config, load)
-    compiled = compile_policy(datacenter_policy(), topology)
-    points = []
-    for use_versioning in (True, False):
-        system = ContraSystem(compiled, probe_period=config.probe_period,
-                              flowlet_timeout=config.flowlet_timeout,
-                              failure_periods=config.failure_periods,
-                              use_versioning=use_versioning)
-        points.append(_run(topology, spec, config, system,
-                           "use_versioning", 1.0 if use_versioning else 0.0))
-    return points
+    variants = (True, False)
+    specs = [_contra_spec(config, load, f"ablation:versioning:{use_versioning}",
+                          use_versioning=use_versioning)
+             for use_versioning in variants]
+    results = run_grid(specs, processes)
+    return [_to_point("use_versioning", 1.0 if use_versioning else 0.0, result)
+            for use_versioning, result in zip(variants, results)]
 
 
 @dataclass

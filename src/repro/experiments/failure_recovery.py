@@ -8,6 +8,8 @@ and recover the throughput within about a millisecond.
 :func:`run_failure_recovery` reproduces that timeline for any of the
 probe-driven systems and also reports the measured detection and recovery
 delays so EXPERIMENTS.md can compare them against the paper's 800 µs / 1 ms.
+The per-system runs are grid scenarios (constant-stream traffic shape), so
+they fan across cores like every other experiment.
 """
 
 from __future__ import annotations
@@ -17,12 +19,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.compiler import compile_policy
 from repro.experiments.config import ExperimentConfig, default_config
-from repro.experiments.fct import default_failed_link
-from repro.experiments.runner import build_routing_system, datacenter_policy
-from repro.simulator import Network
-from repro.topology.fattree import fattree
+from repro.experiments.fct import fattree_spec
+from repro.experiments.runner import ScenarioSpec, run_grid
 
 __all__ = ["RecoveryResult", "run_failure_recovery"]
 
@@ -57,13 +56,10 @@ def run_failure_recovery(
     failure_time: float = 30.0,
     run_duration: float = 60.0,
     streams_per_pair: int = 1,
+    processes: Optional[int] = None,
 ) -> Dict[str, RecoveryResult]:
     """Run the Figure 14 experiment for each requested system."""
     config = config or default_config()
-    topology = fattree(config.fattree_k, capacity=config.host_capacity,
-                       oversubscription=config.oversubscription)
-    failed_link = default_failed_link(topology)
-    compiled = compile_policy(datacenter_policy(), topology)
     if stream_rate is None:
         # The paper sends a stable 4.25 Gbps over a fabric with ample headroom:
         # rerouting around the failed link must be able to restore the full
@@ -75,35 +71,30 @@ def run_failure_recovery(
         # affected flowlet lands on the same one.
         stream_rate = 0.06 * config.host_capacity
 
-    hosts = topology.hosts
-    half = len(hosts) // 2
-    pairs = list(zip(hosts[:half], hosts[half:]))
-
-    results: Dict[str, RecoveryResult] = {}
-    for system_name in systems:
-        from repro.simulator import StatsCollector
-
-        system = build_routing_system(system_name, topology, config, compiled=compiled)
-        network = Network(
-            topology, system,
-            buffer_packets=config.buffer_packets,
-            host_window=config.host_window,
-            host_rto=config.host_rto,
-            util_window=config.util_window,
-            stats=StatsCollector(throughput_bin_ms=1.0),
+    specs = [
+        ScenarioSpec(
+            name=f"recovery:{system}",
+            system=system,
+            topology=fattree_spec(config),
+            config=config,
+            policy="datacenter",
+            workload="",
+            traffic="streams",
+            stream_rate=stream_rate,
+            stream_start=0.5,
+            streams_per_pair=streams_per_pair,
+            fail_agg_core_link=True,
+            failure_time=failure_time,
+            run_duration=run_duration,
+            collect_throughput=True,
         )
-        network.fail_link(failed_link[0], failed_link[1], at_time=failure_time)
-
-        def start_streams() -> None:
-            for src, dst in pairs:
-                for _ in range(streams_per_pair):
-                    network.hosts[src].start_constant_stream(dst, stream_rate, run_duration)
-
-        network.sim.schedule_at(0.5, start_streams)
-        stats = network.run(run_duration)
-        series = stats.throughput_series()
-        results[system_name] = _analyse(system_name, series, failure_time,
-                                        stats.failure_detections)
+        for system in systems
+    ]
+    results: Dict[str, RecoveryResult] = {}
+    for result in run_grid(specs, processes):
+        results[result.system] = _analyse(
+            result.system, result.throughput or [], failure_time,
+            int(result.summary["failure_detections"]))
     return results
 
 

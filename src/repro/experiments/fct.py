@@ -7,6 +7,11 @@
   the asymmetric fat-tree (Figure 13).
 * :func:`run_abilene_fct` — shortest-path vs Contra(MU) vs SPAIN on Abilene
   with four random sender/receiver pairs (Figure 15).
+
+All three build declarative :class:`~repro.experiments.runner.ScenarioSpec`
+grids and hand them to :func:`~repro.experiments.runner.run_grid`, so a sweep
+parallelizes across cores (``processes=`` / ``$CONTRA_PROCS``) without any
+change to the results.
 """
 
 from __future__ import annotations
@@ -14,23 +19,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.compiler import compile_policy
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.runner import (
-    SimulationResult,
-    build_routing_system,
-    datacenter_policy,
-    run_simulation,
-    wan_policy,
+    RunResult,
+    ScenarioSpec,
+    TopologySpec,
+    default_failed_link,
+    run_grid,
 )
 from repro.topology.abilene import abilene
-from repro.topology.fattree import fattree
 from repro.topology.graph import Topology
-from repro.workloads import distribution_by_name, generate_workload, random_pairs
 
 __all__ = [
     "FctPoint",
     "default_failed_link",
+    "fattree_spec",
     "run_fattree_fct",
     "run_abilene_fct",
     "run_queue_cdf",
@@ -53,17 +56,10 @@ class FctPoint:
     loop_fraction: float
 
 
-def default_failed_link(topology: Topology) -> Tuple[str, str]:
-    """The aggregation–core link failed in the asymmetric experiments (§6.3)."""
-    for agg in topology.switches_with_role("aggregation"):
-        for neighbor in topology.switch_neighbors(agg):
-            if topology.node_role(neighbor) == "core":
-                return (agg, neighbor)
-    raise ValueError("topology has no aggregation-core link to fail")
-
-
-def _workload_scale(config: ExperimentConfig, name: str) -> float:
-    return config.websearch_scale if name == "web_search" else config.cache_scale
+def fattree_spec(config: ExperimentConfig) -> TopologySpec:
+    """The shared fat-tree topology description of the datacenter experiments."""
+    return TopologySpec("fattree", k=config.fattree_k, capacity=config.host_capacity,
+                        oversubscription=config.oversubscription)
 
 
 #: Default sender/receiver city pairs for the Abilene experiment.  The paper
@@ -96,35 +92,31 @@ def run_fattree_fct(
     workloads: Sequence[str] = ("web_search", "cache"),
     loads: Optional[Sequence[float]] = None,
     asymmetric: bool = False,
+    processes: Optional[int] = None,
 ) -> List[FctPoint]:
     """The Figure 11 (symmetric) / Figure 12 (asymmetric) sweep."""
     config = config or default_config()
     loads = tuple(loads) if loads is not None else config.loads
-    topology = fattree(config.fattree_k, capacity=config.host_capacity,
-                       oversubscription=config.oversubscription)
-    failed_link = default_failed_link(topology) if asymmetric else None
-    compiled = compile_policy(datacenter_policy(), topology)
+    topology = fattree_spec(config)
 
-    results: List[FctPoint] = []
-    for workload_name in workloads:
-        distribution = distribution_by_name(workload_name, _workload_scale(config, workload_name))
-        for load in loads:
-            spec = generate_workload(
-                topology, distribution, load=load,
-                duration=config.workload_duration,
-                host_capacity=config.host_capacity,
-                seed=config.seed,
-                start_after=config.warmup,
-            )
-            for system_name in systems:
-                system = build_routing_system(system_name, topology, config, compiled=compiled)
-                result = run_simulation(
-                    topology, system, spec.flows, config,
-                    failed_link=failed_link,
-                    system_name=system_name, load=load, workload_name=workload_name,
-                )
-                results.append(_to_point(result))
-    return results
+    specs = [
+        ScenarioSpec(
+            name=f"fct:{workload}:{load}:{system}",
+            system=system,
+            topology=topology,
+            config=config,
+            policy="datacenter",
+            workload=workload,
+            load=load,
+            seed=config.seed,
+            fail_agg_core_link=asymmetric,
+            stop_after_completion=True,
+        )
+        for workload in workloads
+        for load in loads
+        for system in systems
+    ]
+    return [_to_point(result) for result in run_grid(specs, processes)]
 
 
 def run_abilene_fct(
@@ -133,40 +125,42 @@ def run_abilene_fct(
     workloads: Sequence[str] = ("web_search", "cache"),
     loads: Optional[Sequence[float]] = None,
     pairs: int = 4,
+    processes: Optional[int] = None,
 ) -> List[FctPoint]:
     """The Figure 15 sweep on the Abilene topology."""
     config = config or default_config()
     loads = tuple(loads) if loads is not None else config.loads
-    topology = abilene(capacity=config.abilene_capacity, hosts_per_switch=1)
-    senders, receivers = abilene_pairs(topology, pairs)
-    compiled = compile_policy(wan_policy(), topology)
-    # A WAN's best (least-utilized) paths can be much longer in propagation
-    # delay than its shortest paths, so the probe period must respect the
-    # compiler's RTT-derived bound (§5.2) rather than the datacenter default.
-    from dataclasses import replace as _replace
-    config = _replace(config, probe_period=max(config.probe_period, compiled.probe_period))
+    topo_spec = TopologySpec("abilene", capacity=config.abilene_capacity,
+                             hosts_per_switch=1)
+    senders, receivers = abilene_pairs(
+        abilene(capacity=config.abilene_capacity, hosts_per_switch=1), pairs)
 
-    results: List[FctPoint] = []
-    for workload_name in workloads:
-        distribution = distribution_by_name(workload_name, _workload_scale(config, workload_name))
-        for load in loads:
-            spec = generate_workload(
-                topology, distribution, load=load,
-                duration=config.workload_duration,
-                host_capacity=config.abilene_host_rate,
-                seed=config.seed,
-                senders=senders, receivers=receivers,
-                pair_senders_receivers=True,
-                start_after=config.warmup,
-            )
-            for system_name in systems:
-                system = build_routing_system(system_name, topology, config, compiled=compiled)
-                result = run_simulation(
-                    topology, system, spec.flows, config,
-                    system_name=system_name, load=load, workload_name=workload_name,
-                )
-                results.append(_to_point(result))
-    return results
+    specs = [
+        ScenarioSpec(
+            name=f"abilene:{workload}:{load}:{system}",
+            system=system,
+            topology=topo_spec,
+            config=config,
+            policy="wan",
+            workload=workload,
+            load=load,
+            seed=config.seed,
+            workload_host_rate=config.abilene_host_rate,
+            senders=tuple(senders),
+            receivers=tuple(receivers),
+            pair_senders_receivers=True,
+            # A WAN's best (least-utilized) paths can be much longer in
+            # propagation delay than its shortest paths, so the probe period
+            # must respect the compiler's RTT-derived bound (§5.2) rather
+            # than the datacenter default.
+            respect_compiled_probe_period=True,
+            stop_after_completion=True,
+        )
+        for workload in workloads
+        for load in loads
+        for system in systems
+    ]
+    return [_to_point(result) for result in run_grid(specs, processes)]
 
 
 def run_queue_cdf(
@@ -175,33 +169,30 @@ def run_queue_cdf(
     load: float = 0.6,
     workload: str = "web_search",
     cdf_points: Sequence[float] = (0.5, 0.75, 0.9, 0.95, 0.99, 1.0),
+    processes: Optional[int] = None,
 ) -> Dict[str, Dict[float, float]]:
     """The Figure 13 queue-length CDF comparison (asymmetric fat-tree, 60% load)."""
     config = config or default_config()
-    topology = fattree(config.fattree_k, capacity=config.host_capacity,
-                       oversubscription=config.oversubscription)
-    failed_link = default_failed_link(topology)
-    compiled = compile_policy(datacenter_policy(), topology)
-    distribution = distribution_by_name(workload, _workload_scale(config, workload))
-    spec = generate_workload(
-        topology, distribution, load=load,
-        duration=config.workload_duration,
-        host_capacity=config.host_capacity,
-        seed=config.seed,
-        start_after=config.warmup,
-    )
-
-    cdfs: Dict[str, Dict[float, float]] = {}
-    for system_name in systems:
-        system = build_routing_system(system_name, topology, config, compiled=compiled)
-        result = run_simulation(topology, system, spec.flows, config,
-                                failed_link=failed_link,
-                                system_name=system_name, load=load, workload_name=workload)
-        cdfs[system_name] = result.stats.queue_length_cdf(cdf_points)
-    return cdfs
+    specs = [
+        ScenarioSpec(
+            name=f"queue-cdf:{system}",
+            system=system,
+            topology=fattree_spec(config),
+            config=config,
+            policy="datacenter",
+            workload=workload,
+            load=load,
+            seed=config.seed,
+            fail_agg_core_link=True,
+            cdf_points=tuple(cdf_points),
+            stop_after_completion=True,
+        )
+        for system in systems
+    ]
+    return {result.system: result.queue_cdf for result in run_grid(specs, processes)}
 
 
-def _to_point(result: SimulationResult) -> FctPoint:
+def _to_point(result: RunResult) -> FctPoint:
     summary = result.summary
     return FctPoint(
         workload=result.workload,

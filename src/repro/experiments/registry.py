@@ -1,0 +1,135 @@
+"""Named experiment scenarios for the grid runner.
+
+The registry maps a scenario name (``fig11``, ``fig13``, ``ablations``, …) to
+a callable that executes the experiment — through the process-pool grid
+runner — and returns a :class:`ScenarioOutcome` with the formatted report and
+a JSON-serializable payload.  ``contra run-grid`` and the benchmark harness
+both resolve experiments through this table, so the CLI, the benchmarks and
+the library always run the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.experiments import report
+from repro.experiments.ablations import (
+    run_flowlet_timeout_ablation,
+    run_probe_period_ablation,
+    run_versioning_ablation,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.failure_recovery import run_failure_recovery
+from repro.experiments.fct import run_abilene_fct, run_fattree_fct, run_queue_cdf
+from repro.experiments.overhead import run_overhead_experiment
+from repro.experiments.scalability import run_scalability_sweep
+
+__all__ = ["ScenarioOutcome", "SCENARIOS", "run_scenario", "scenario_names"]
+
+
+@dataclass
+class ScenarioOutcome:
+    """What one named scenario produced: a printable report plus raw data."""
+
+    name: str
+    text: str
+    payload: Any
+
+
+def _fig9_10(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
+    points = run_scalability_sweep(fattree_sizes=(20, 125), random_sizes=(100, 200),
+                                   processes=processes)
+    return ScenarioOutcome("fig9-10", report.format_scalability(points),
+                           [asdict(p) for p in points])
+
+
+def _fig11(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
+    points = run_fattree_fct(config, processes=processes)
+    return ScenarioOutcome("fig11",
+                           report.format_fct(points, "Figure 11: symmetric fat-tree FCT"),
+                           [asdict(p) for p in points])
+
+
+def _fig12(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
+    points = run_fattree_fct(config, asymmetric=True, processes=processes)
+    return ScenarioOutcome("fig12",
+                           report.format_fct(points, "Figure 12: asymmetric fat-tree FCT"),
+                           [asdict(p) for p in points])
+
+
+def _fig13(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
+    cdfs = run_queue_cdf(config, processes=processes)
+    return ScenarioOutcome("fig13", report.format_queue_cdf(cdfs),
+                           {system: {str(p): v for p, v in cdf.items()}
+                            for system, cdf in cdfs.items()})
+
+
+def _fig14(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
+    results = run_failure_recovery(config, processes=processes)
+    payload = {
+        system: {
+            "baseline_rate": outcome.baseline_rate,
+            "dip_delay_ms": outcome.dip_delay,
+            "recovery_delay_ms": outcome.recovery_delay,
+            "failure_detections": outcome.failure_detections,
+        }
+        for system, outcome in results.items()
+    }
+    return ScenarioOutcome("fig14", report.format_recovery(results), payload)
+
+
+def _fig15(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
+    points = run_abilene_fct(config, processes=processes)
+    return ScenarioOutcome("fig15", report.format_fct(points, "Figure 15: Abilene FCT"),
+                           [asdict(p) for p in points])
+
+
+def _fig16(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
+    points = run_overhead_experiment(config, processes=processes)
+    return ScenarioOutcome("fig16", report.format_overhead(points),
+                           [asdict(p) for p in points])
+
+
+def _ablations(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
+    probe = run_probe_period_ablation(config, processes=processes)
+    flowlet = run_flowlet_timeout_ablation(config, processes=processes)
+    versioning = run_versioning_ablation(config, processes=processes)
+    text = "\n\n".join([
+        report.format_ablation(probe, "Probe period ablation"),
+        report.format_ablation(flowlet, "Flowlet timeout ablation"),
+        report.format_ablation(versioning, "Versioning ablation"),
+    ])
+    payload = {
+        "probe_period": [asdict(p) for p in probe],
+        "flowlet_timeout": [asdict(p) for p in flowlet],
+        "versioning": [asdict(p) for p in versioning],
+    }
+    return ScenarioOutcome("ablations", text, payload)
+
+
+#: Scenario name -> runner; each entry executes through the grid runner.
+SCENARIOS: Dict[str, Callable[[ExperimentConfig, Optional[int]], ScenarioOutcome]] = {
+    "fig9-10": _fig9_10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "fig15": _fig15,
+    "fig16": _fig16,
+    "ablations": _ablations,
+}
+
+
+def scenario_names() -> List[str]:
+    return list(SCENARIOS)
+
+
+def run_scenario(name: str, config: ExperimentConfig,
+                 processes: Optional[int] = None) -> ScenarioOutcome:
+    """Execute one named scenario; raises KeyError for unknown names."""
+    try:
+        runner = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(f"unknown scenario {name!r}; available: {scenario_names()}") from None
+    return runner(config, processes)

@@ -1,16 +1,31 @@
 """Common machinery for the evaluation experiments.
 
-:func:`build_routing_system` turns a system name (``ecmp``, ``hula``,
-``contra``, ``spain``, ``shortest-path``) plus an experiment configuration into
-a ready :class:`~repro.simulator.network.RoutingSystem`; :func:`run_simulation`
-wires a network, injects the workload and optional failures, runs it and
-returns the statistics summary.  Every experiment driver builds on these two
-functions so that all systems are compared under identical conditions.
+Two tiers live here:
+
+* the single-run helpers the seed started from — :func:`build_routing_system`
+  turns a system name plus configuration into a ready
+  :class:`~repro.simulator.network.RoutingSystem`, and :func:`run_simulation`
+  wires a network, injects a workload and returns the statistics summary;
+* the **experiment layer** every figure driver now builds on — a declarative
+  :class:`ScenarioSpec` describes one (topology, system, workload, load, seed)
+  point as plain data, a :class:`RunContext` executes specs while caching
+  topologies, compiled policies and generated workloads, and :func:`run_grid`
+  fans a list of specs across a process pool (or runs them inline), returning
+  :class:`RunResult` objects in spec order.
+
+Because a spec is pure data (strings, numbers, tuples and the frozen
+:class:`~repro.experiments.config.ExperimentConfig`), it pickles cleanly into
+worker processes, and because every derived object (topology, compiled
+policy, workload) is reconstructed deterministically from it, a grid run
+produces byte-identical summaries whether executed serially or on any number
+of workers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import EcmpSystem, HulaSystem, ShortestPathSystem, SpainSystem
@@ -22,8 +37,12 @@ from repro.experiments.config import ExperimentConfig
 from repro.protocol import ContraSystem
 from repro.simulator import Network, StatsCollector
 from repro.simulator.flow import Flow
+from repro.topology.abilene import abilene
+from repro.topology.fattree import fattree
 from repro.topology.graph import Topology
-from repro.workloads import EmpiricalCDF, WorkloadSpec, generate_workload
+from repro.topology.leafspine import leafspine
+from repro.topology.random_graphs import random_network
+from repro.workloads import distribution_by_name, generate_workload
 
 __all__ = [
     "SimulationResult",
@@ -32,6 +51,15 @@ __all__ = [
     "build_routing_system",
     "run_simulation",
     "SYSTEM_NAMES",
+    "POLICY_BUILDERS",
+    "TopologySpec",
+    "ScenarioSpec",
+    "RunResult",
+    "RunContext",
+    "run_grid",
+    "grid_map",
+    "resolve_processes",
+    "default_failed_link",
 ]
 
 SYSTEM_NAMES = ("ecmp", "hula", "contra", "spain", "shortest-path")
@@ -74,12 +102,30 @@ def wan_policy() -> Policy:
     return minimize(path.util, name="MU-wan")
 
 
+#: Named policy builders a ScenarioSpec can reference (a spec carries the
+#: *name*, each worker compiles the policy locally and caches the result).
+POLICY_BUILDERS: Dict[str, Callable[[], Policy]] = {
+    "datacenter": datacenter_policy,
+    "wan": wan_policy,
+}
+
+
+def default_failed_link(topology: Topology) -> Tuple[str, str]:
+    """The aggregation–core link failed in the asymmetric experiments (§6.3)."""
+    for agg in topology.switches_with_role("aggregation"):
+        for neighbor in topology.switch_neighbors(agg):
+            if topology.node_role(neighbor) == "core":
+                return (agg, neighbor)
+    raise ValueError("topology has no aggregation-core link to fail")
+
+
 def build_routing_system(
     name: str,
     topology: Topology,
     config: ExperimentConfig,
     policy: Optional[Policy] = None,
     compiled: Optional[CompiledPolicy] = None,
+    use_versioning: bool = True,
 ):
     """Instantiate one routing system by name under the shared configuration."""
     name = name.lower()
@@ -104,6 +150,7 @@ def build_routing_system(
             probe_period=config.probe_period,
             flowlet_timeout=config.flowlet_timeout,
             failure_periods=config.failure_periods,
+            use_versioning=use_versioning,
         )
     raise ExperimentError(f"unknown routing system {name!r}; available: {SYSTEM_NAMES}")
 
@@ -120,6 +167,7 @@ def run_simulation(
     load: float = 0.0,
     workload_name: str = "",
     record_paths: bool = False,
+    stop_after_completion: bool = False,
 ) -> SimulationResult:
     """Run one simulation with the shared transport/switch parameters."""
     network = Network(
@@ -134,7 +182,8 @@ def run_simulation(
     network.schedule_flows(flows)
     if failed_link is not None:
         network.fail_link(failed_link[0], failed_link[1], at_time=failure_time)
-    stats = network.run(run_duration if run_duration is not None else config.run_duration)
+    stats = network.run(run_duration if run_duration is not None else config.run_duration,
+                        stop_after_completion=stop_after_completion)
     return SimulationResult(
         system=system_name or getattr(system, "name", type(system).__name__),
         load=load,
@@ -143,3 +192,304 @@ def run_simulation(
         stats=stats,
         network=network,
     )
+
+
+# =============================================================================
+# Experiment layer: declarative scenarios and the grid runner
+# =============================================================================
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A declarative, hashable description of a topology (cache key + recipe)."""
+
+    family: str                         # fattree | leafspine | abilene | random
+    k: int = 4                          # fat-tree arity / leaf-spine size
+    size: int = 0                       # random-graph switch count
+    capacity: float = 100.0
+    oversubscription: float = 4.0
+    hosts_per_switch: int = 1
+    seed: int = 0
+
+    def build(self) -> Topology:
+        if self.family == "fattree":
+            return fattree(self.k, capacity=self.capacity,
+                           oversubscription=self.oversubscription)
+        if self.family == "leafspine":
+            return leafspine(self.k, self.k, hosts_per_leaf=self.hosts_per_switch,
+                             capacity=self.capacity)
+        if self.family == "abilene":
+            return abilene(capacity=self.capacity, hosts_per_switch=self.hosts_per_switch)
+        if self.family == "random":
+            return random_network(self.size, seed=self.seed)
+        raise ExperimentError(f"unknown topology family {self.family!r}")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One (system × topology × workload × load × seed) grid point as pure data.
+
+    Everything a worker process needs to reproduce the run deterministically
+    is carried by value; nothing is pickled that is not a plain string,
+    number, tuple or frozen dataclass.
+    """
+
+    name: str
+    system: str
+    topology: TopologySpec
+    config: ExperimentConfig
+    policy: str = "datacenter"          # key into POLICY_BUILDERS
+    workload: str = "web_search"
+    load: float = 0.0
+    seed: int = 1
+
+    # Traffic shape: Poisson flow arrivals ("flows") or constant-rate UDP
+    # streams between host pairs ("streams", the Figure 14 traffic).
+    traffic: str = "flows"
+    workload_host_rate: Optional[float] = None   # per-sender offered rate override
+    senders: Optional[Tuple[str, ...]] = None
+    receivers: Optional[Tuple[str, ...]] = None
+    pair_senders_receivers: bool = False
+    stream_rate: Optional[float] = None          # packets/ms per stream
+    stream_start: float = 0.5
+    streams_per_pair: int = 1
+
+    # Failure injection.
+    fail_agg_core_link: bool = False
+    failed_link: Optional[Tuple[str, str]] = None
+    failure_time: float = 0.0
+
+    # Protocol overrides (the ablation experiments sweep these).
+    probe_period: Optional[float] = None
+    flowlet_timeout: Optional[float] = None
+    use_versioning: bool = True
+    #: Clamp the probe period to the compiler's RTT-derived bound (§5.2) —
+    #: required on WANs whose detour paths exceed the datacenter default.
+    respect_compiled_probe_period: bool = False
+
+    # Measurement.
+    record_paths: bool = False
+    stop_after_completion: bool = False
+    run_duration: Optional[float] = None
+    cdf_points: Tuple[float, ...] = ()           # collect the queue-length CDF
+    collect_throughput: bool = False             # collect the throughput series
+
+
+@dataclass
+class RunResult:
+    """The per-spec outcome a grid run returns (picklable, no live objects)."""
+
+    name: str
+    system: str
+    workload: str
+    load: float
+    seed: int
+    summary: Dict[str, float]
+    queue_cdf: Optional[Dict[float, float]] = None
+    throughput: Optional[List[Tuple[float, float]]] = None
+
+
+class RunContext:
+    """Per-process execution context with memoized derived state.
+
+    Topologies, compiled policies (keyed by ``(policy, topology)``) and
+    generated workloads are deterministic functions of the spec, so each
+    worker builds them at most once however many grid points share them —
+    Contra is no longer recompiled for every (system, load, seed) point.
+    """
+
+    def __init__(self) -> None:
+        self._topologies: Dict[TopologySpec, Topology] = {}
+        self._compiled: Dict[Tuple[str, TopologySpec], CompiledPolicy] = {}
+        self._workloads: Dict[Tuple, object] = {}
+
+    # ------------------------------------------------------------------ caches
+
+    def topology(self, spec: TopologySpec) -> Topology:
+        topology = self._topologies.get(spec)
+        if topology is None:
+            topology = self._topologies[spec] = spec.build()
+        return topology
+
+    def compiled_policy(self, policy_name: str, topo_spec: TopologySpec) -> CompiledPolicy:
+        key = (policy_name, topo_spec)
+        compiled = self._compiled.get(key)
+        if compiled is None:
+            try:
+                builder = POLICY_BUILDERS[policy_name]
+            except KeyError:
+                raise ExperimentError(
+                    f"unknown policy {policy_name!r}; available: {sorted(POLICY_BUILDERS)}"
+                ) from None
+            compiled = compile_policy(builder(), self.topology(topo_spec))
+            self._compiled[key] = compiled
+        return compiled
+
+    def _flows(self, spec: ScenarioSpec, topology: Topology) -> Sequence[Flow]:
+        config = spec.config
+        scale = (config.websearch_scale if spec.workload == "web_search"
+                 else config.cache_scale)
+        key = (spec.topology, spec.workload, scale, spec.load, spec.seed,
+               config.workload_duration, spec.workload_host_rate or config.host_capacity,
+               spec.senders, spec.receivers, spec.pair_senders_receivers, config.warmup)
+        cached = self._workloads.get(key)
+        if cached is None:
+            distribution = distribution_by_name(spec.workload, scale)
+            cached = generate_workload(
+                topology, distribution, load=spec.load,
+                duration=config.workload_duration,
+                host_capacity=spec.workload_host_rate or config.host_capacity,
+                seed=spec.seed,
+                senders=list(spec.senders) if spec.senders else None,
+                receivers=list(spec.receivers) if spec.receivers else None,
+                pair_senders_receivers=spec.pair_senders_receivers,
+                start_after=config.warmup,
+            )
+            self._workloads[key] = cached
+        return cached.flows
+
+    # --------------------------------------------------------------- execution
+
+    def run(self, spec: ScenarioSpec) -> RunResult:
+        topology = self.topology(spec.topology)
+        config = spec.config
+
+        compiled: Optional[CompiledPolicy] = None
+        if spec.system == "contra" or spec.respect_compiled_probe_period:
+            compiled = self.compiled_policy(spec.policy, spec.topology)
+
+        overrides = {}
+        if spec.probe_period is not None:
+            overrides["probe_period"] = spec.probe_period
+        if spec.flowlet_timeout is not None:
+            overrides["flowlet_timeout"] = spec.flowlet_timeout
+        if spec.respect_compiled_probe_period and compiled is not None:
+            overrides["probe_period"] = max(
+                overrides.get("probe_period", config.probe_period), compiled.probe_period)
+        if overrides:
+            config = replace(config, **overrides)
+
+        system = build_routing_system(spec.system, topology, config, compiled=compiled,
+                                      use_versioning=spec.use_versioning)
+
+        network = Network(
+            topology, system,
+            buffer_packets=config.buffer_packets,
+            host_window=config.host_window,
+            host_rto=config.host_rto,
+            util_window=config.util_window,
+            stats=StatsCollector(record_paths=spec.record_paths),
+        )
+
+        run_duration = spec.run_duration if spec.run_duration is not None \
+            else config.run_duration
+        if spec.traffic == "flows":
+            network.schedule_flows(self._flows(spec, topology))
+        elif spec.traffic == "streams":
+            self._schedule_streams(spec, topology, network, run_duration)
+        else:
+            raise ExperimentError(f"unknown traffic shape {spec.traffic!r}")
+
+        failed_link = spec.failed_link
+        if failed_link is None and spec.fail_agg_core_link:
+            failed_link = default_failed_link(topology)
+        if failed_link is not None:
+            network.fail_link(failed_link[0], failed_link[1], at_time=spec.failure_time)
+
+        stats = network.run(run_duration,
+                            stop_after_completion=spec.stop_after_completion)
+        return RunResult(
+            name=spec.name,
+            system=spec.system,
+            workload=spec.workload,
+            load=spec.load,
+            seed=spec.seed,
+            summary=stats.summary(),
+            queue_cdf=stats.queue_length_cdf(spec.cdf_points) if spec.cdf_points else None,
+            throughput=stats.throughput_series() if spec.collect_throughput else None,
+        )
+
+    def _schedule_streams(self, spec: ScenarioSpec, topology: Topology,
+                          network: Network, run_duration: float) -> None:
+        rate = spec.stream_rate
+        if rate is None:
+            rate = 0.06 * spec.config.host_capacity
+        if spec.senders is not None and spec.receivers is not None:
+            pairs = list(zip(spec.senders, spec.receivers))
+        else:
+            hosts = topology.hosts
+            half = len(hosts) // 2
+            pairs = list(zip(hosts[:half], hosts[half:]))
+
+        def start_streams() -> None:
+            for src, dst in pairs:
+                for _ in range(spec.streams_per_pair):
+                    network.hosts[src].start_constant_stream(dst, rate, run_duration)
+
+        network.sim.call_at(spec.stream_start, start_streams)
+
+
+# --------------------------------------------------------------------- pooling
+
+#: Worker-process context, created lazily on first task (survives across
+#: tasks of one pool, so caches amortize over every spec the worker executes).
+_WORKER_CONTEXT: Optional[RunContext] = None
+
+
+def _worker_run(spec: ScenarioSpec) -> RunResult:
+    global _WORKER_CONTEXT
+    if _WORKER_CONTEXT is None:
+        _WORKER_CONTEXT = RunContext()
+    return _WORKER_CONTEXT.run(spec)
+
+
+def resolve_processes(processes: Optional[int], tasks: int) -> int:
+    """How many workers to use: explicit argument, else $CONTRA_PROCS, else 1.
+
+    The default stays serial: grid results are byte-identical either way, and
+    forking only pays off once the per-point runtime exceeds worker startup.
+    """
+    if processes is None:
+        try:
+            processes = int(os.environ.get("CONTRA_PROCS", "1"))
+        except ValueError:
+            processes = 1
+    if processes < 1:
+        processes = os.cpu_count() or 1
+    return max(1, min(processes, tasks))
+
+
+def run_grid(specs: Sequence[ScenarioSpec], processes: Optional[int] = None,
+             context: Optional[RunContext] = None) -> List[RunResult]:
+    """Execute every spec, fanning across a process pool, in spec order.
+
+    ``processes=None`` consults ``$CONTRA_PROCS`` (default serial);
+    ``processes=0`` uses every core.  Results are returned in input order
+    regardless of completion order, and are byte-identical to a serial run.
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    workers = resolve_processes(processes, len(specs))
+    if workers <= 1:
+        ctx = context if context is not None else RunContext()
+        return [ctx.run(spec) for spec in specs]
+    chunksize = max(1, len(specs) // workers)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_worker_run, specs, chunksize=chunksize))
+
+
+def grid_map(fn: Callable, items: Sequence, processes: Optional[int] = None) -> List:
+    """Map a picklable module-level function over items, optionally in a pool.
+
+    The compile-scalability sweep uses this for (topology, policy) compile
+    jobs, which carry no simulation state.
+    """
+    items = list(items)
+    if not items:
+        return []
+    workers = resolve_processes(processes, len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    chunksize = max(1, len(items) // workers)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items, chunksize=chunksize))

@@ -84,6 +84,27 @@ def scalability_policies(topology: Topology) -> Dict[str, Policy]:
     }
 
 
+def _compile_one(task: Tuple[str, int, str, int, Optional[CompileOptions]]) -> ScalabilityPoint:
+    """Compile one (family, size, policy) point; module-level for pool pickling."""
+    family, size, policy_name, seed, options = task
+    topology = _build_topology(family, size, seed)
+    policy = scalability_policies(topology)[policy_name]
+    started = time.perf_counter()
+    compiled = compile_policy(policy, topology, options)
+    elapsed = time.perf_counter() - started
+    return ScalabilityPoint(
+        family=family,
+        size=size,
+        actual_switches=len(topology.switches),
+        policy=policy_name,
+        compile_time_s=elapsed,
+        max_state_kb=compiled.max_state_kb(),
+        pg_nodes=compiled.product_graph.num_nodes,
+        pg_edges=compiled.product_graph.num_edges,
+        num_probe_ids=compiled.num_probe_ids,
+    )
+
+
 def run_scalability_sweep(
     families: Sequence[str] = ("fattree", "random"),
     fattree_sizes: Sequence[int] = FATTREE_SIZES,
@@ -91,34 +112,26 @@ def run_scalability_sweep(
     policies: Optional[Sequence[str]] = None,
     options: Optional[CompileOptions] = None,
     seed: int = 0,
+    processes: Optional[int] = None,
 ) -> List[ScalabilityPoint]:
-    """Compile every (family, size, policy) combination and measure it."""
+    """Compile every (family, size, policy) combination and measure it.
+
+    Compile jobs are independent, so the sweep distributes them through
+    :func:`~repro.experiments.runner.grid_map` (``processes=`` /
+    ``$CONTRA_PROCS``); note that wall-clock compile *times* are only
+    comparable within a run when executed serially on an idle machine.
+    """
+    from repro.experiments.runner import grid_map
+
     if policies is None:
         policies = ("MU", "WP", "CA")
-    results: List[ScalabilityPoint] = []
-
-    for family in families:
-        sizes = fattree_sizes if family == "fattree" else random_sizes
-        for size in sizes:
-            topology = _build_topology(family, size, seed)
-            bound_policies = scalability_policies(topology)
-            for policy_name in policies:
-                policy = bound_policies[policy_name]
-                started = time.perf_counter()
-                compiled = compile_policy(policy, topology, options)
-                elapsed = time.perf_counter() - started
-                results.append(ScalabilityPoint(
-                    family=family,
-                    size=size,
-                    actual_switches=len(topology.switches),
-                    policy=policy_name,
-                    compile_time_s=elapsed,
-                    max_state_kb=compiled.max_state_kb(),
-                    pg_nodes=compiled.product_graph.num_nodes,
-                    pg_edges=compiled.product_graph.num_edges,
-                    num_probe_ids=compiled.num_probe_ids,
-                ))
-    return results
+    tasks = [
+        (family, size, policy_name, seed, options)
+        for family in families
+        for size in (fattree_sizes if family == "fattree" else random_sizes)
+        for policy_name in policies
+    ]
+    return grid_map(_compile_one, tasks, processes)
 
 
 def _build_topology(family: str, size: int, seed: int) -> Topology:

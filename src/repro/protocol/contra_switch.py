@@ -17,7 +17,8 @@ import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.analysis.decomposition import SubPolicy
-from repro.core.ast import PathContext
+from repro.core.ast import Attr, PathContext, Policy, TupleExpr
+from repro.core.attributes import MetricVector
 from repro.core.compiler import CompiledPolicy
 from repro.core.device_config import DeviceConfig
 from repro.core.rank import INFINITY, Rank
@@ -30,6 +31,7 @@ from repro.protocol.tables import (
     FlowletTable,
     FwdKey,
     LoopDetectionTable,
+    packet_flow_hash,
 )
 from repro.simulator.network import Network, RoutingSystem
 from repro.simulator.packet import Packet
@@ -75,12 +77,33 @@ class ContraSystem(RoutingSystem):
         return logic
 
     def start(self, network: Network) -> None:
+        """Arm the periodic probe flood and failure detection.
+
+        All per-switch rounds of one period fire at the same instant, so they
+        are coalesced under a single recurring engine event each (origination
+        and failure checking) instead of one self-rescheduling chain per
+        switch; the per-switch work runs in deterministic creation order.
+        """
         destinations = (network.topology.switches if self.probe_all_switches
                         else network.destination_switches())
-        for switch in destinations:
-            self._logics[switch].start_probing()
-        for logic in self._logics.values():
-            logic.start_failure_detection()
+        origins = [self._logics[switch] for switch in destinations]
+        if origins:
+            network.sim.schedule_periodic(self.probe_period, self._probe_all, origins)
+        logics = list(self._logics.values())
+        if logics:
+            network.sim.schedule_periodic(
+                self.probe_period, self._failure_check_all, logics,
+                start_delay=self.probe_period * self.failure_periods)
+
+    @staticmethod
+    def _probe_all(origins: List["ContraRouting"]) -> None:
+        for logic in origins:
+            logic.probe_round()
+
+    @staticmethod
+    def _failure_check_all(logics: List["ContraRouting"]) -> None:
+        for logic in logics:
+            logic.failure_check()
 
     def packet_header_bits(self) -> int:
         configs = self.compiled.device_configs.values()
@@ -112,6 +135,29 @@ class ContraRouting(RoutingLogic):
         self._believed_failed: Dict[str, bool] = {}
         self._probe_bits = config.probe_bits()
 
+        # Hot-path caches.  Per subpolicy: the positions of its propagation
+        # attributes inside the carried metric vector, so the isotonic key
+        # f(pid, mv) is a plain tuple slice instead of a Rank construction.
+        self._prop_indices: Dict[int, Optional[Tuple[int, ...]]] = {}
+        for sub in self.subpolicies:
+            try:
+                self._prop_indices[sub.pid] = tuple(
+                    sub.carried_attrs.index(name) for name in sub.propagation_attrs)
+            except ValueError:  # attr not carried: fall back to the slow path
+                self._prop_indices[sub.pid] = None
+        # ECMP alternates are only sound when the propagation rank carries
+        # the hop count: equal rank then implies equal path length, and a
+        # cycle (which strictly increases ``len``) can never tie.  Without
+        # ``len`` (pure-MU on a WAN), a longer detour can tie an entry
+        # exactly and an alternate pointing back along it would ping-pong.
+        self._allow_alternates: Dict[int, bool] = {
+            sub.pid: "len" in sub.propagation_attrs for sub in self.subpolicies}
+        # Specialized evaluator for regex-free pure-attribute policies (the
+        # common minimize(attr) / minimize((attr, attr)) shapes).
+        self._fast_rank = _fast_rank_evaluator(self.compiled.policy)
+        # Specialized per-names metric extenders (False = use the generic path).
+        self._extenders: Dict[Tuple[str, ...], object] = {}
+
     # --------------------------------------------------------------- lifecycle
 
     def attach(self, switch: SwitchNode, network: Network) -> None:
@@ -123,15 +169,17 @@ class ContraRouting(RoutingLogic):
 
     def start_probing(self) -> None:
         """Begin periodic probe origination (this switch is a traffic destination)."""
-        self.network.sim.schedule(0.0, self._probe_round)
+        self.network.sim.schedule_periodic(self.system.probe_period, self.probe_round)
 
     def start_failure_detection(self) -> None:
         period = self.system.probe_period
-        self.network.sim.schedule(period * self.system.failure_periods, self._failure_check)
+        self.network.sim.schedule_periodic(
+            period, self.failure_check,
+            start_delay=period * self.system.failure_periods)
 
     # ----------------------------------------------------------------- probes
 
-    def _probe_round(self) -> None:
+    def probe_round(self) -> None:
         """INITPROBE: originate one probe per subpolicy and multicast it."""
         self._version += 1
         origin_tag = self.config.probe_origin_tag
@@ -144,16 +192,22 @@ class ContraRouting(RoutingLogic):
                 metrics=sub.initial_metrics(),
             )
             self._multicast(payload, exclude=None)
-        self.network.sim.schedule(self.system.probe_period, self._probe_round)
 
     def _multicast(self, payload: ProbePayload, exclude: Optional[str]) -> None:
-        """MULTICASTPROBE: send along all product-graph out-edges of the payload's tag."""
+        """MULTICASTPROBE: send along all product-graph out-edges of the payload's tag.
+
+        One packet object is shared by every target: probe packets are
+        immutable in flight (only data packets are re-tagged or TTL-decremented),
+        so per-target copies would only burn allocations.
+        """
+        packet = None
         for neighbor in self.config.multicast_targets(payload.tag):
             if exclude is not None and self.system.split_horizon and neighbor == exclude:
                 continue
             if self._believed_failed.get(neighbor, False):
                 continue
-            packet = make_probe_packet(payload, self.switch.name, self._probe_bits)
+            if packet is None:
+                packet = make_probe_packet(payload, self.switch.name, self._probe_bits)
             self.switch.send_probe(packet, neighbor)
 
     def on_probe(self, packet: Packet, inport: str) -> None:
@@ -170,10 +224,26 @@ class ContraRouting(RoutingLogic):
             return  # probes never advertise a destination back to itself
 
         # UPDATEMVEC: fold in the traffic-direction link (this switch -> inport).
-        metrics = payload.metrics.extend(self.switch.link_metrics(inport))
-        subpolicy = self.compiled.decomposition.subpolicy(payload.pid)
+        # Only the extended *values* tuple is computed up front; the metric
+        # vector object is materialized after the accept decision (about half
+        # of all received probes are rejected).
+        mv = payload.metrics
+        names = mv.names
+        link = self.switch.egress(inport)
+        extend = self._extenders.get(names)
+        if extend is None:
+            extend = _make_metric_extender(names) or False
+            self._extenders[names] = extend
+        # The specialized extender reads the link's congestion directly; an
+        # instance-level metric_values override (tests pin link metrics that
+        # way) must keep winning over it.
+        if extend is not False and "metric_values" not in link.__dict__:
+            new_values = extend(mv, link)
+        else:
+            new_values = mv.extend(link.metric_values()).values
         key: FwdKey = (payload.origin, local_tag, payload.pid)
         entry = self.fwdt.lookup(key)
+        prop_key = self._propagation_key(payload.pid, names, new_values)
 
         accept = False
         if entry is None:
@@ -181,35 +251,63 @@ class ContraRouting(RoutingLogic):
         elif not self.system.use_versioning:
             # Ablation: unversioned distance-vector — accept purely on metric,
             # plus staleness refresh so entries do not expire spuriously.
-            better = (subpolicy.propagation_rank(metrics)
-                      < subpolicy.propagation_rank(entry.metrics))
-            stale = self.network.sim.now - entry.updated_at > self.system.probe_period
-            accept = better or stale
+            accept = (prop_key < entry.prop_key
+                      or self.network.sim.now - entry.updated_at > self.system.probe_period)
         elif payload.version > entry.version:
             accept = True            # newer round always replaces stale state (DSDV/Babel)
-        elif payload.version == entry.version and (
-                subpolicy.propagation_rank(metrics) < subpolicy.propagation_rank(entry.metrics)):
+        elif payload.version == entry.version and prop_key < entry.prop_key:
             accept = True            # same round: keep the better path under f(pid, mv)
         if not accept:
+            # An exact same-round tie is an ECMP sibling of the installed
+            # path: remember it as an alternate next hop (no re-multicast —
+            # the equal-metric flood already went out via the primary).
+            if entry is not None and prop_key == entry.prop_key and \
+                    inport != entry.next_hop and \
+                    self._allow_alternates.get(payload.pid, False) and \
+                    (not self.system.use_versioning or payload.version == entry.version):
+                entry.add_alternate(inport, payload.tag)
             return
 
-        self.fwdt.install(key, ForwardingEntry(
+        metrics = MetricVector._make(names, new_values)
+        new_entry = ForwardingEntry(
             metrics=metrics,
             next_tag=payload.tag,
             next_hop=inport,
             version=payload.version,
             updated_at=self.network.sim.now,
-        ))
-        self._maybe_update_best(payload.origin, key, metrics)
+            prop_key=prop_key,
+            rank=self._rank_of(key, metrics),
+        )
+        self.fwdt.install(key, new_entry)
+        self._maybe_update_best(payload.origin, key, new_entry)
         self._multicast(payload.advanced(local_tag, metrics), exclude=inport)
 
     # ------------------------------------------------------------ best choice
 
-    def _entry_rank(self, key: FwdKey, entry: ForwardingEntry) -> Rank:
-        """s(key): evaluate the full user policy on one FwdT entry."""
+    def _propagation_key(self, pid: int, names: Tuple[str, ...],
+                         values: Tuple[float, ...]) -> Tuple[float, ...]:
+        """The isotonic propagation key f(pid, mv) as a raw comparable tuple."""
+        indices = self._prop_indices.get(pid)
+        if indices is None:  # attrs outside the carried vector: slow path
+            metrics = MetricVector._make(names, values)
+            return self.compiled.decomposition.subpolicy(pid).propagation_rank(metrics).values
+        return tuple(values[i] for i in indices)
+
+    def _rank_of(self, key: FwdKey, metrics) -> Rank:
+        """s(key): evaluate the full user policy on one metric vector."""
+        fast = self._fast_rank
+        if fast is not None:
+            return fast(metrics)
         acceptance = self.config.acceptance_of(key[1])
-        ctx = PathContext((), entry.metrics.as_dict(), acceptance)
+        ctx = PathContext((), metrics.as_dict(), acceptance)
         return self.compiled.policy.evaluate(ctx)
+
+    def _entry_rank(self, key: FwdKey, entry: ForwardingEntry) -> Rank:
+        """The cached policy rank of one FwdT entry (computed at install time)."""
+        rank = entry.rank
+        if rank is None:
+            rank = entry.rank = self._rank_of(key, entry.metrics)
+        return rank
 
     def _entry_valid(self, entry: ForwardingEntry) -> bool:
         """An entry is stale if its probes stopped or its next hop is believed dead."""
@@ -220,34 +318,73 @@ class ContraRouting(RoutingLogic):
         max_age = self.system.probe_period * (self.system.failure_periods + 1)
         return self.network.sim.now - entry.updated_at <= max_age
 
-    def _maybe_update_best(self, destination: str, key: FwdKey, metrics) -> None:
-        new_rank = self._entry_rank(key, self.fwdt.lookup(key))
-        current_key = self.bestt.get(destination)
-        if current_key is None:
+    def _maybe_update_best(self, destination: str, key: FwdKey,
+                           entry: ForwardingEntry) -> None:
+        """Fold a freshly installed entry into the co-best set for its destination.
+
+        BestT holds *every* FwdT key of minimal (equal) rank, not just one:
+        fresh flowlets spread across the co-best entries by flowlet id
+        (:meth:`on_data_packet`).  With a single pointer, every host under a
+        ToR pinned its new flowlets to the same uplink for up to a probe
+        period — a synchronized burst then built a queue ECMP's per-flow
+        hashing never sees (the Figure 13 tail).  Ties are common precisely
+        when it matters: idle equal-length paths all rank (len, 0.0).
+        """
+        new_rank = self._entry_rank(key, entry)
+        current = self.bestt.get(destination)
+        if not current:
             if new_rank.is_finite:
-                self.bestt.set(destination, key)
+                self.bestt.set(destination, (key,))
             return
-        current_entry = self.fwdt.lookup(current_key)
-        if current_entry is None or not self._entry_valid(current_entry):
+        reference_rank = None
+        for current_key in current:
+            current_entry = self.fwdt.lookup(current_key)
+            if current_entry is not None and self._entry_valid(current_entry):
+                reference_rank = self._entry_rank(current_key, current_entry)
+                break
+        if reference_rank is None:
             if new_rank.is_finite:
-                self.bestt.set(destination, key)
+                self.bestt.set(destination, (key,))
             return
-        current_rank = self._entry_rank(current_key, current_entry)
-        if new_rank < current_rank:
-            self.bestt.set(destination, key)
+        if new_rank < reference_rank:
+            self.bestt.set(destination, (key,))
+        elif new_rank == reference_rank:
+            if key not in current:
+                self.bestt.set(destination, current + (key,))
+        elif key in current:
+            # The refreshed entry fell behind its co-best peers: drop it.
+            remaining = tuple(k for k in current if k != key)
+            if remaining:
+                self.bestt.set(destination, remaining)
+            else:
+                self.bestt.clear(destination)
 
     def _best_key(self, destination: str) -> Optional[FwdKey]:
-        """The best valid FwdT key for a destination, refreshing BestT if needed."""
-        key = self.bestt.get(destination)
-        if key is not None:
-            entry = self.fwdt.lookup(key)
-            if entry is not None and self._entry_valid(entry) and \
-                    self._entry_rank(key, entry).is_finite:
-                return key
+        """The single best valid FwdT key (deterministic first of the co-best set)."""
+        keys = self._best_keys(destination)
+        return keys[0] if keys else None
+
+    def _best_keys(self, destination: str) -> Tuple[FwdKey, ...]:
+        """All valid equal-rank best FwdT keys, refreshing BestT if stale."""
+        keys = self.bestt.get(destination)
+        if keys:
+            first_rank = None
+            for key in keys:
+                entry = self.fwdt.lookup(key)
+                if entry is None or not self._entry_valid(entry):
+                    return self._rescan_best(destination)
+                rank = self._entry_rank(key, entry)
+                if not rank.is_finite:
+                    return self._rescan_best(destination)
+                if first_rank is None:
+                    first_rank = rank
+                elif rank != first_rank:
+                    return self._rescan_best(destination)
+            return keys
         return self._rescan_best(destination)
 
-    def _rescan_best(self, destination: str) -> Optional[FwdKey]:
-        best_key: Optional[FwdKey] = None
+    def _rescan_best(self, destination: str) -> Tuple[FwdKey, ...]:
+        best_keys: List[FwdKey] = []
         best_rank = INFINITY
         for key, entry in self.fwdt.entries_for_destination(destination).items():
             if not self._entry_valid(entry):
@@ -255,12 +392,15 @@ class ContraRouting(RoutingLogic):
             rank = self._entry_rank(key, entry)
             if rank < best_rank:
                 best_rank = rank
-                best_key = key
-        if best_key is not None:
-            self.bestt.set(destination, best_key)
+                best_keys = [key]
+            elif best_keys and rank == best_rank:
+                best_keys.append(key)
+        result = tuple(best_keys)
+        if result:
+            self.bestt.set(destination, result)
         else:
             self.bestt.clear(destination)
-        return best_key
+        return result
 
     # -------------------------------------------------------------- forwarding
 
@@ -268,22 +408,25 @@ class ContraRouting(RoutingLogic):
         """SWIFORWARDPKT with policy-aware flowlet switching and loop breaking."""
         destination = packet.dst_switch
         from_host = not self.network.is_switch(inport)
+        flow_hash = packet_flow_hash(packet)
+        fid = flow_hash % self.flowlets.slots
 
         if from_host or packet.tag is None:
-            best = self._best_key(destination)
-            if best is None:
+            # Fresh flowlets spread across the equal-rank co-best entries by
+            # flowlet id — policy-compliant load balancing over ties.
+            best_keys = self._best_keys(destination)
+            if not best_keys:
                 return None
-            _, tag, pid = best
+            _, tag, pid = best_keys[fid % len(best_keys)]
             packet.tag = tag
             packet.pid = pid
             packet.extra_header_bits = self.config.packet_tag_bits()
 
-        fid = self.flowlets.flowlet_id(packet.flow_key())
         now = self.network.sim.now
 
         # Lazy loop breaking (§5.5): on suspicion, flush the flowlet pins so the
         # next packet re-reads the freshest FwdT entry.
-        if self.loop_detector.observe(packet.flow_key(), packet.ttl, now):
+        if self.loop_detector.observe_hash(flow_hash, packet.ttl, now):
             flushed = self.flowlets.expire_flowlet_everywhere(fid)
             self.network.stats.loop_detections += 1
             self.network.stats.flowlet_expirations += flushed
@@ -305,10 +448,10 @@ class ContraRouting(RoutingLogic):
             # The constrained path for this tag is gone; only a source switch may
             # legitimately re-tag the packet (policy compliance, §4.2).
             if from_host:
-                best = self._rescan_best(destination)
-                if best is None:
+                best_keys = self._rescan_best(destination)
+                if not best_keys:
                     return None
-                _, tag, pid = best
+                _, tag, pid = best_keys[fid % len(best_keys)]
                 packet.tag = tag
                 packet.pid = pid
                 key = (destination, tag, pid)
@@ -318,10 +461,21 @@ class ContraRouting(RoutingLogic):
             else:
                 return None
 
-        self.flowlets.install(destination, key[1], key[2], fid,
-                              entry.next_hop, entry.next_tag, now)
-        packet.tag = entry.next_tag
-        return entry.next_hop
+        next_hop, next_tag = self._choose_hop(entry, fid)
+        self.flowlets.install(destination, key[1], key[2], fid, next_hop, next_tag, now)
+        packet.tag = next_tag
+        return next_hop
+
+    def _choose_hop(self, entry: ForwardingEntry, fid: int) -> Tuple[str, int]:
+        """Pick among the entry's equal-rank next hops by flowlet id."""
+        alternates = entry.alternates
+        if alternates:
+            index = fid % (1 + len(alternates))
+            if index:
+                next_hop, next_tag = alternates[index - 1]
+                if self._usable_next_hop(next_hop):
+                    return next_hop, next_tag
+        return entry.next_hop, entry.next_tag
 
     def _usable_next_hop(self, neighbor: str) -> bool:
         return not self._believed_failed.get(neighbor, False) and \
@@ -329,7 +483,7 @@ class ContraRouting(RoutingLogic):
 
     # ---------------------------------------------------------------- failures
 
-    def _failure_check(self) -> None:
+    def failure_check(self) -> None:
         """Mark neighbours silent for ``failure_periods`` probe periods as failed (§5.4)."""
         now = self.network.sim.now
         window = self.system.probe_period * self.system.failure_periods
@@ -342,7 +496,6 @@ class ContraRouting(RoutingLogic):
                 self.network.stats.flowlet_expirations += expired
             elif not silent and self._believed_failed.get(neighbor, False):
                 self._believed_failed[neighbor] = False
-        self.network.sim.schedule(self.system.probe_period, self._failure_check)
 
     def on_link_change(self, neighbor: str, failed: bool) -> None:
         """React immediately to a simulator-signalled link event (optional fast path).
@@ -367,3 +520,55 @@ class ContraRouting(RoutingLogic):
             return None
         entry = self.fwdt.lookup(key)
         return entry.next_hop if entry is not None else None
+
+
+#: Per-attribute link extension steps used by the specialized extender: the
+#: built-in compositions (util = bottleneck max, lat = additive, len = count)
+#: read the link object directly instead of building a metric dict per probe.
+_EXTEND_OPS = {
+    "util": lambda values, index, link: max(values[index], link.congestion),
+    "lat": lambda values, index, link: values[index] + link.latency,
+    "len": lambda values, index, link: values[index] + 1.0,
+}
+
+
+def _make_metric_extender(names: Tuple[str, ...]):
+    """A specialized ``(metric vector, link) -> extended values tuple`` extender.
+
+    Returns None when a name falls outside the built-in attribute set, in
+    which case the caller uses the generic dict-based path.
+    """
+    try:
+        ops = tuple((index, _EXTEND_OPS[name]) for index, name in enumerate(names))
+    except KeyError:
+        return None
+
+    def extend(mv, link) -> Tuple[float, ...]:
+        values = mv.values
+        return tuple(op(values, index, link) for index, op in ops)
+
+    return extend
+
+
+def _fast_rank_evaluator(policy: Policy):
+    """A specialized metric-vector evaluator for regex-free attribute policies.
+
+    ``minimize(path.attr)`` and ``minimize((path.a, path.b))`` — the shapes
+    every figure experiment uses — rank an entry as a plain tuple of its
+    metric values.  Evaluating them through the generic AST walk built a
+    PathContext, a metrics dict and several intermediate Ranks per entry;
+    this closure produces an identical Rank directly.  Returns None for any
+    other policy shape (conditionals, regexes, arithmetic), which keeps the
+    general evaluator authoritative.
+    """
+    expression = policy.expression
+    items = expression.items if isinstance(expression, TupleExpr) else (expression,)
+    if not all(isinstance(item, Attr) for item in items):
+        return None
+    names = tuple(item.name for item in items)
+
+    def evaluate(metrics) -> Rank:
+        get = metrics.get
+        return Rank.of_values(tuple(get(name) for name in names))
+
+    return evaluate

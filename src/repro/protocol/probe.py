@@ -10,7 +10,6 @@ probe currently sits at, and the accumulated *metric vector*.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
 from repro.core.attributes import MetricVector
 from repro.simulator.packet import BASE_PROBE_BYTES, Packet, PacketKind
@@ -38,32 +37,19 @@ def make_probe_packet(payload: ProbePayload, src_switch: str, payload_bits: int)
 
     ``payload_bits`` is the compiled probe size (origin + pid + version + tag +
     metric vector); the wire size adds the base framing so the overhead
-    experiment (Figure 16) counts realistic bytes.
+    experiment (Figure 16) counts realistic bytes.  The (immutable) payload
+    object itself rides in the packet — the wire size is accounted for, but
+    nothing is marshalled to and from a dict on every hop.
     """
     return Packet(
         kind=PacketKind.PROBE,
         src_host=src_switch,
         dst_host="",
         size_bytes=int(BASE_PROBE_BYTES + payload_bits / 8.0),
-        probe={
-            "origin": payload.origin,
-            "pid": payload.pid,
-            "version": payload.version,
-            "tag": payload.tag,
-            "metric_names": payload.metrics.names,
-            "metric_values": payload.metrics.values,
-        },
+        probe=payload,
     )
 
 
 def payload_from_packet(packet: Packet) -> ProbePayload:
     """Recover the probe payload from a simulator packet."""
-    data = packet.probe or {}
-    metrics = MetricVector(data.get("metric_names", ()), data.get("metric_values", ()))
-    return ProbePayload(
-        origin=data["origin"],
-        pid=int(data["pid"]),
-        version=int(data["version"]),
-        tag=int(data["tag"]),
-        metrics=metrics,
-    )
+    return packet.probe

@@ -16,10 +16,12 @@ programs allocate:
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.attributes import MetricVector
+from repro.core.rank import Rank
 
 __all__ = [
     "FwdKey",
@@ -29,21 +31,72 @@ __all__ = [
     "FlowletEntry",
     "FlowletTable",
     "LoopDetectionTable",
+    "stable_flow_hash",
+    "packet_flow_hash",
 ]
+
+
+def stable_flow_hash(flow_key: Tuple) -> int:
+    """A deterministic hash of a flow identifier.
+
+    Python's builtin ``hash`` is randomized per interpreter process
+    (PYTHONHASHSEED), which made flowlet and loop-table slot assignment — and
+    through it entire experiment outcomes — vary between invocations.  The
+    synthesized switch programs use a fixed CRC on the 5-tuple, so the model
+    does too.
+    """
+    data = "\x1f".join(map(str, flow_key)).encode("utf-8", "surrogatepass")
+    return zlib.crc32(data)
+
+
+def packet_flow_hash(packet) -> int:
+    """The stable flow hash of a packet, computed once and cached on it."""
+    cached = packet.flow_hash
+    if cached is None:
+        cached = packet.flow_hash = stable_flow_hash(packet.flow_key())
+    return cached
 
 #: FwdT key: (destination switch, local tag, probe id).
 FwdKey = Tuple[str, int, int]
 
 
-@dataclass
+@dataclass(slots=True)
 class ForwardingEntry:
-    """One FwdT row."""
+    """One FwdT row.
+
+    ``prop_key`` and ``rank`` are caches computed once at install time: the
+    raw propagation-rank tuple ``f(pid, mv)`` used to compare same-version
+    probes, and the full policy rank ``s`` of the entry.  Both are pure
+    functions of the (immutable) metric vector, so caching them keeps probe
+    processing and best-choice rescans off the policy-evaluation slow path.
+
+    ``alternates`` holds further ``(next_hop, next_tag)`` pairs whose probes
+    tied the row's propagation rank exactly in the same version round — the
+    software analogue of the ECMP action group a P4 switch keeps for
+    equal-rank entries.  Fresh flowlets spread across primary + alternates by
+    flowlet id, which is what keeps a ToR's simultaneous flow arrivals from
+    herding onto a single uplink while probes (correctly) report both as
+    equally good.
+    """
 
     metrics: MetricVector
     next_tag: int
     next_hop: str
     version: int
     updated_at: float
+    prop_key: Tuple[float, ...] = ()
+    rank: Optional[Rank] = None
+    alternates: Tuple[Tuple[str, int], ...] = ()
+
+    #: Alternates kept per row (primary + 3 matches a 4-way ECMP group).
+    MAX_ALTERNATES = 3
+
+    def add_alternate(self, next_hop: str, next_tag: int) -> None:
+        """Record an equal-rank (next hop, next tag) pair for this row."""
+        pair = (next_hop, next_tag)
+        if next_hop != self.next_hop and pair not in self.alternates and \
+                len(self.alternates) < self.MAX_ALTERNATES:
+            self.alternates = self.alternates + (pair,)
 
 
 class ForwardingTable:
@@ -95,7 +148,7 @@ class BestChoiceTable:
         return len(self._best)
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowletEntry:
     """One policy-aware flowlet pinning decision."""
 
@@ -119,8 +172,8 @@ class FlowletTable:
         self._entries: Dict[Tuple[str, int, int, int], FlowletEntry] = {}
 
     def flowlet_id(self, flow_key: Tuple) -> int:
-        """Hash a flow identifier into a table slot."""
-        return hash(flow_key) % self.slots
+        """Hash a flow identifier into a table slot (stable across processes)."""
+        return stable_flow_hash(flow_key) % self.slots
 
     def lookup(self, destination: str, tag: int, pid: int, fid: int,
                now: float) -> Optional[FlowletEntry]:
@@ -164,7 +217,7 @@ class FlowletTable:
         return len(self._entries)
 
 
-@dataclass
+@dataclass(slots=True)
 class _LoopRecord:
     max_ttl: int
     min_ttl: int
@@ -189,7 +242,11 @@ class LoopDetectionTable:
 
     def observe(self, flow_key: Tuple, ttl: int, now: float) -> bool:
         """Record a packet's TTL; returns True when a loop is suspected."""
-        slot = hash(flow_key) % self.slots
+        return self.observe_hash(stable_flow_hash(flow_key), ttl, now)
+
+    def observe_hash(self, flow_hash: int, ttl: int, now: float) -> bool:
+        """Like :meth:`observe` for callers that already hold the flow hash."""
+        slot = flow_hash % self.slots
         record = self._records.get(slot)
         if record is None or now - record.last_seen > self.entry_timeout:
             self._records[slot] = _LoopRecord(ttl, ttl, now)

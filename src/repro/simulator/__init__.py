@@ -1,6 +1,7 @@
 """Discrete-event network simulator substrate (the reproduction's ns-3 stand-in)."""
 
-from repro.simulator.engine import Event, Simulator
+from repro.simulator.accumulators import ReservoirSampler, StreamingHistogram
+from repro.simulator.engine import Event, PeriodicEvent, Simulator
 from repro.simulator.flow import Flow, ReceiverState, SenderState
 from repro.simulator.host import Host
 from repro.simulator.link import SimLink
@@ -18,6 +19,7 @@ from repro.simulator.switchnode import RoutingLogic, SwitchNode
 __all__ = [
     "Simulator",
     "Event",
+    "PeriodicEvent",
     "Flow",
     "SenderState",
     "ReceiverState",
@@ -32,6 +34,8 @@ __all__ = [
     "BASE_PROBE_BYTES",
     "StatsCollector",
     "FlowRecord",
+    "StreamingHistogram",
+    "ReservoirSampler",
     "RoutingLogic",
     "SwitchNode",
 ]

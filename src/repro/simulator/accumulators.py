@@ -1,0 +1,144 @@
+"""Streaming statistical accumulators.
+
+The per-packet measurement hooks of :class:`~repro.simulator.stats
+.StatsCollector` must be O(1) time and O(1) memory per sample so that stats
+collection never dominates a run (the seed implementation kept every queue
+sample in an unbounded Python list).  Two accumulators cover the needs of the
+paper's figures:
+
+* :class:`StreamingHistogram` — exact percentiles for small-integer-valued
+  streams (queue lengths are bounded by the buffer size), using a counts
+  dictionary.  Percentiles interpolate exactly like ``numpy.percentile``'s
+  default *linear* method, so refactoring the collector onto it changed no
+  reported number.
+* :class:`ReservoirSampler` — uniform fixed-size sample of an unbounded
+  stream, for quantities without a small discrete domain (e.g. sampled
+  delivered paths).  Deterministic: the reservoir is driven by its own seeded
+  PRNG, never the global one.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["StreamingHistogram", "ReservoirSampler"]
+
+
+class StreamingHistogram:
+    """Exact streaming percentiles over a discrete (integer-valued) stream."""
+
+    __slots__ = ("_counts", "_total", "_min", "_max")
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self._total = 0
+        self._min = 0
+        self._max = 0
+
+    def record(self, value: int) -> None:
+        """Add one observation. O(1)."""
+        counts = self._counts
+        counts[value] = counts.get(value, 0) + 1
+        if self._total == 0:
+            self._min = self._max = value
+        else:
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+        self._total += 1
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def max(self) -> int:
+        return self._max
+
+    @property
+    def min(self) -> int:
+        return self._min
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100), matching numpy's linear method.
+
+        Returns 0.0 for an empty histogram.
+        """
+        if self._total == 0:
+            return 0.0
+        # numpy's linear interpolation: virtual index h = (n-1) * q / 100.
+        h = (self._total - 1) * (q / 100.0)
+        lower_index = int(h)
+        fraction = h - lower_index
+        lower = self._value_at(lower_index)
+        if fraction == 0.0:
+            return float(lower)
+        upper = self._value_at(lower_index + 1)
+        return lower + (upper - lower) * fraction
+
+    def percentiles(self, qs: Sequence[float]) -> List[float]:
+        return [self.percentile(q) for q in qs]
+
+    def _value_at(self, index: int) -> int:
+        """The value at ``index`` of the (virtual) sorted sample array."""
+        remaining = index
+        for value in sorted(self._counts):
+            bucket = self._counts[value]
+            if remaining < bucket:
+                return value
+            remaining -= bucket
+        return self._max
+
+    def items(self) -> List[Tuple[int, int]]:
+        """(value, count) pairs in increasing value order."""
+        return sorted(self._counts.items())
+
+
+class ReservoirSampler:
+    """Fixed-size uniform sample of an unbounded stream (Vitter's algorithm R).
+
+    Bounded memory regardless of stream length; every element has equal
+    probability ``capacity / n`` of being retained.  Sampling decisions come
+    from a private seeded PRNG, so two identically fed reservoirs agree
+    element-for-element — run-to-run determinism never depends on global
+    random state.
+    """
+
+    __slots__ = ("capacity", "_samples", "_seen", "_rng")
+
+    def __init__(self, capacity: int, seed: int = 0):
+        if capacity <= 0:
+            raise ValueError(f"reservoir capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._samples: List = []
+        self._seen = 0
+        self._rng = random.Random(seed)
+
+    def offer(self, item) -> None:
+        """Consider one stream element for inclusion. O(1)."""
+        self._seen += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(item)
+            return
+        slot = self._rng.randrange(self._seen)
+        if slot < self.capacity:
+            self._samples[slot] = item
+
+    @property
+    def seen(self) -> int:
+        """Total stream elements offered so far."""
+        return self._seen
+
+    @property
+    def samples(self) -> List:
+        """The current sample (at most ``capacity`` elements, arrival order not preserved)."""
+        return list(self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def extend(self, items: Iterable) -> None:
+        for item in items:
+            self.offer(item)

@@ -1,9 +1,23 @@
 """Discrete-event simulation engine.
 
-A minimal, deterministic event loop: events are ``(time, sequence, callback)``
-triples in a binary heap.  The sequence number breaks ties so that events
-scheduled earlier run earlier, which keeps runs bit-for-bit reproducible for a
-given seed — a property every experiment in EXPERIMENTS.md relies on.
+A minimal, deterministic event loop.  Heap entries are plain
+``(time, sequence, callback, args)`` tuples: the sequence number is unique, so
+tuple comparison never reaches the callback and runs entirely in C.  The
+sequence number also breaks ties so that events scheduled earlier run earlier,
+which keeps runs bit-for-bit reproducible for a given seed — a property every
+experiment in EXPERIMENTS.md relies on.
+
+Three scheduling tiers exist, from hottest to most featureful:
+
+* :meth:`Simulator.call_later` / :meth:`Simulator.call_at` — the fast path:
+  no per-event wrapper object is allocated and the event cannot be cancelled.
+  The per-packet machinery (link serialization, delivery) uses this tier.
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` — returns an
+  :class:`Event` handle supporting :meth:`Event.cancel`.  Cancellation marks
+  the handle inactive and the heap entry expires when popped (no heap scan).
+* :meth:`Simulator.schedule_periodic` — a recurring event that re-arms itself
+  without allocating a new handle per round; periodic probe floods coalesce
+  their per-round work under a single recurring entry.
 
 Times are floats in **milliseconds** throughout the simulator.
 """
@@ -11,32 +25,75 @@ Times are floats in **milliseconds** throughout the simulator.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.exceptions import SimulationError
 
-__all__ = ["Simulator", "Event"]
+__all__ = ["Simulator", "Event", "PeriodicEvent"]
 
 
 class Event:
-    """A scheduled callback; cancellation simply marks it inactive."""
+    """A cancellable scheduled callback (the featureful scheduling tier).
 
-    __slots__ = ("time", "seq", "callback", "args", "active")
+    ``active`` means *pending*: it turns False when the event fires or is
+    cancelled, so cancelling an already-fired event is a harmless no-op.
+    """
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: Tuple):
+    __slots__ = ("time", "callback", "args", "active", "_sim")
+
+    def __init__(self, sim: "Simulator", time: float, callback: Callable[..., None],
+                 args: Tuple):
+        self._sim = sim
         self.time = time
-        self.seq = seq
         self.callback = callback
         self.args = args
         self.active = True
 
     def cancel(self) -> None:
-        """Prevent the event from firing (it stays in the heap but is skipped)."""
-        self.active = False
+        """Prevent a pending event from firing (it expires in the heap; no scan)."""
+        if self.active:
+            self.active = False
+            self._sim._cancelled += 1
 
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+    def _fire(self) -> None:
+        self.active = False  # fired: a later cancel() must not touch counters
+        self.callback(*self.args)
+
+
+class PeriodicEvent:
+    """A recurring callback that re-arms itself every ``period`` milliseconds.
+
+    One handle serves every round: re-arming pushes a fresh heap tuple but
+    allocates no new wrapper, so periodic floods (probe rounds, failure
+    checks) cost one heap operation per round regardless of how much work the
+    callback batches.
+    """
+
+    __slots__ = ("period", "callback", "args", "active", "_sim")
+
+    def __init__(self, sim: "Simulator", period: float, callback: Callable[..., None],
+                 args: Tuple):
+        self._sim = sim
+        self.period = period
+        self.callback = callback
+        self.args = args
+        self.active = True
+
+    def cancel(self) -> None:
+        """Stop the recurrence; the pending firing expires silently."""
+        if self.active:
+            self.active = False
+            self._sim._cancelled += 1
+
+    def _fire(self) -> None:
+        self.callback(*self.args)
+        if self.active:  # the callback may have cancelled the recurrence
+            self._sim._push(self._sim._now + self.period, _fire_handle, (self,))
+        else:
+            # Cancelled from within its own callback: the entry that cancel()
+            # accounted for was already popped and none will be re-armed, so
+            # undo the bookkeeping to keep pending_events exact.
+            self._sim._cancelled -= 1
 
 
 class Simulator:
@@ -44,10 +101,14 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: List[Event] = []
-        self._sequence = itertools.count()
+        #: heap of (time, seq, callback, args); seq is unique so comparisons
+        #: never inspect the callback.
+        self._queue: List[Tuple[float, int, Callable[..., None], Tuple]] = []
+        self._sequence = 0
         self._events_processed = 0
         self._stopped = False
+        #: heap entries whose handle was cancelled but that still await expiry.
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -56,26 +117,65 @@ class Simulator:
 
     @property
     def events_processed(self) -> int:
+        """Events executed so far (cancelled expiries are not counted)."""
         return self._events_processed
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._queue if e.active)
+        """Events scheduled and not cancelled (O(1); no heap scan)."""
+        return len(self._queue) - self._cancelled
+
+    # ------------------------------------------------------------- scheduling
+
+    def _push(self, time: float, callback: Callable[..., None], args: Tuple) -> None:
+        seq = self._sequence
+        self._sequence = seq + 1
+        heapq.heappush(self._queue, (time, seq, callback, args))
+
+    def call_later(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fast path: schedule a non-cancellable ``callback(*args)`` after ``delay`` ms."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} ms in the past")
+        seq = self._sequence
+        self._sequence = seq + 1
+        heapq.heappush(self._queue, (self._now + delay, seq, callback, args))
+
+    def call_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fast path: schedule a non-cancellable ``callback(*args)`` at an absolute time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time} ms, current time is {self._now} ms")
+        seq = self._sequence
+        self._sequence = seq + 1
+        heapq.heappush(self._queue, (time, seq, callback, args))
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``callback(*args)`` to run ``delay`` milliseconds from now."""
+        """Schedule a cancellable ``callback(*args)`` to run ``delay`` ms from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule an event {delay} ms in the past")
         return self.schedule_at(self._now + delay, callback, *args)
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        """Schedule a cancellable ``callback(*args)`` at an absolute simulation time."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule an event at {time} ms, current time is {self._now} ms")
-        event = Event(time, next(self._sequence), callback, args)
-        heapq.heappush(self._queue, event)
+        event = Event(self, time, callback, args)
+        self._push(time, _fire_handle, (event,))
         return event
+
+    def schedule_periodic(self, period: float, callback: Callable[..., None],
+                          *args: Any, start_delay: float = 0.0) -> PeriodicEvent:
+        """Run ``callback(*args)`` every ``period`` ms, first after ``start_delay``."""
+        if period <= 0:
+            raise SimulationError(f"periodic events need a positive period, got {period}")
+        if start_delay < 0:
+            raise SimulationError(f"cannot schedule an event {start_delay} ms in the past")
+        event = PeriodicEvent(self, period, callback, args)
+        self._push(self._now + start_delay, _fire_handle, (event,))
+        return event
+
+    # ---------------------------------------------------------------- running
 
     def stop(self) -> None:
         """Stop the run after the currently executing event returns."""
@@ -83,23 +183,42 @@ class Simulator:
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Process events until the queue drains, ``until`` is reached, or
-        ``max_events`` have run.  Returns the simulation time afterwards."""
+        ``max_events`` have run.  Returns the simulation time afterwards.
+
+        The boundary is inclusive: ``run(until=t)`` processes every event with
+        time ``<= t`` and leaves the clock at exactly ``t`` (never beyond).
+        """
         self._stopped = False
+        queue = self._queue
         processed_this_call = 0
-        while self._queue and not self._stopped:
-            event = self._queue[0]
-            if until is not None and event.time > until:
+        while queue and not self._stopped:
+            entry = queue[0]
+            if until is not None and entry[0] > until:
                 self._now = until
                 return self._now
-            heapq.heappop(self._queue)
-            if not event.active:
+            heapq.heappop(queue)
+            callback = entry[2]
+            if callback is _fire_handle and not entry[3][0].active:
+                # Cancelled handle expiring: consume the tombstone without
+                # advancing the clock or counting an event (one pointer
+                # comparison per pop keeps the fast path fast).
+                self._cancelled -= 1
                 continue
-            self._now = event.time
-            event.callback(*event.args)
+            self._now = entry[0]
+            callback(*entry[3])
             self._events_processed += 1
             processed_this_call += 1
             if max_events is not None and processed_this_call >= max_events:
                 break
-        if until is not None and not self._queue:
+        if until is not None and not queue:
             self._now = max(self._now, until)
         return self._now
+
+
+def _fire_handle(handle) -> None:
+    """Shared trampoline for cancellable and periodic handles.
+
+    The run loop recognizes this function by identity to expire cancelled
+    entries without executing, advancing the clock, or counting an event.
+    """
+    handle._fire()

@@ -53,7 +53,7 @@ class Host:
         self.stats.register_flow(flow.flow_id, flow.src_host, flow.dst_host,
                                  flow.size_packets, self.sim.now)
         self._pump(flow.flow_id)
-        self.sim.schedule(self.rto, self._check_timeout, flow.flow_id)
+        self.sim.call_later(self.rto, self._check_timeout, flow.flow_id)
 
     def _pump(self, flow_id: int) -> None:
         """Send as many new segments as the window allows."""
@@ -88,7 +88,7 @@ class Host:
             sender.retransmit(self.sim.now)
             self.stats.record_retransmission(flow_id)
             self._pump(flow_id)
-        self.sim.schedule(self.rto, self._check_timeout, flow_id)
+        self.sim.call_later(self.rto, self._check_timeout, flow_id)
 
     # --------------------------------------------------------------- streams
 
@@ -108,7 +108,7 @@ class Host:
             "end": self.sim.now + duration,
             "seq": 0,
         }
-        self.sim.schedule(0.0, self._stream_tick, stream_id)
+        self.sim.call_later(0.0, self._stream_tick, stream_id)
         return stream_id
 
     def _stream_tick(self, stream_id: int) -> None:
@@ -126,7 +126,7 @@ class Host:
         )
         stream["seq"] += 1
         self._transmit(packet)
-        self.sim.schedule(stream["interval"], self._stream_tick, stream_id)
+        self.sim.call_later(stream["interval"], self._stream_tick, stream_id)
 
     # ---------------------------------------------------------------- receive
 

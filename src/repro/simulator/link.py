@@ -7,6 +7,14 @@ propagation latency.  The link also maintains the data-plane *utilization*
 estimate that Contra and Hula probes read: an exponentially weighted moving
 average of the transmitted load over the link capacity, the standard
 data-plane estimator both systems use.
+
+Event budget: the link uses the engine's non-cancellable fast path and keeps
+its event count minimal.  Each transmitted packet costs exactly one delivery
+event (serialization delay and propagation are folded into its timestamp);
+only when a backlog exists does the link additionally keep a single *drain*
+event alive that pulls the next packet off the queue when the serializer
+frees up — so an uncongested link schedules one event per packet, and a
+congested one two, regardless of how many packets pile up behind.
 """
 
 from __future__ import annotations
@@ -49,12 +57,15 @@ class SimLink:
         self.util_window = float(util_window)    # ms, EWMA window for utilization
 
         self._queue: Deque[Packet] = deque()
-        # Control probes are transmitted with strict priority over data, the
-        # standard treatment for in-band control traffic (Hula and Contra both
-        # assume probes are not delayed behind full data queues).
-        self._probe_queue: Deque[Packet] = deque()
-        self._busy = False
+        #: absolute time at which the serializer frees up.
+        self._busy_until = 0.0
+        #: whether a drain event is already scheduled for ``_busy_until``.
+        self._drain_pending = False
         self.failed = False
+        #: incremented on every failure; packets in flight (serializing or
+        #: propagating) when the epoch changes are lost even if the link
+        #: recovers before their delivery time.
+        self._fail_epoch = 0
 
         # Utilization estimator state.
         self._util = 0.0
@@ -79,53 +90,82 @@ class SimLink:
             if self.stats is not None:
                 self.stats.record_drop(self, packet)
             return False
-        if packet.is_probe:
-            self._probe_queue.append(packet)
-        else:
-            if len(self._queue) >= self.buffer_packets:
-                self.packets_dropped += 1
-                if self.stats is not None:
-                    self.stats.record_drop(self, packet)
-                return False
-            self._queue.append(packet)
+        if packet.kind == "probe":
+            # Control lane: probes have strict priority over data (the
+            # standard treatment for in-band control traffic — Hula and
+            # Contra both assume probes are not delayed behind full data
+            # queues).  They are modelled as never occupying the data
+            # serializer: one event delivers the probe after its own
+            # serialization + propagation delay, and its wire time still
+            # feeds the utilization estimator and the byte accounting.
+            wire_bytes = packet.size_bytes + packet.extra_header_bits * 0.125
+            tx_time = wire_bytes / DATA_PACKET_BYTES / self.capacity
+            self._record_transmission(packet, tx_time, wire_bytes)
+            self.sim.call_at(self.sim.now + tx_time + self.latency,
+                             self._deliver_packet, packet, self._fail_epoch)
+            return True
+        if len(self._queue) >= self.buffer_packets:
+            self.packets_dropped += 1
             if self.stats is not None:
-                self.stats.record_queue_length(self, len(self._queue))
-        if not self._busy:
-            self._transmit_next()
+                self.stats.record_drop(self, packet)
+            return False
+        self._queue.append(packet)
+        if self.stats is not None:
+            self.stats.record_queue_length(self, len(self._queue))
+        if not self._drain_pending:
+            if self.sim.now >= self._busy_until:
+                self._transmit_next()
+            else:
+                # Serializer busy with an earlier packet: one drain event
+                # covers every packet queued behind it (batch scheduling).
+                self._drain_pending = True
+                self.sim.call_at(self._busy_until, self._drain)
         return True
 
-    def _transmission_time(self, packet: Packet) -> float:
-        """Serialization delay for one packet (scaled by its wire size)."""
-        relative_size = packet.wire_bytes / DATA_PACKET_BYTES
-        return relative_size / self.capacity
+    def _drain(self) -> None:
+        self._drain_pending = False
+        # fail() clears the queue; a pending drain then expires harmlessly.
+        if self._queue:
+            self._transmit_next()
 
     def _transmit_next(self) -> None:
-        if not self._probe_queue and not self._queue:
-            self._busy = False
-            return
-        self._busy = True
-        packet = self._probe_queue.popleft() if self._probe_queue else self._queue.popleft()
-        tx_time = self._transmission_time(packet)
-        self._record_transmission(packet, tx_time)
-        self.sim.schedule(tx_time, self._finish_transmission, packet)
+        packet = self._queue.popleft()
+        wire_bytes = packet.size_bytes + packet.extra_header_bits * 0.125
+        tx_time = wire_bytes / DATA_PACKET_BYTES / self.capacity
+        self._record_transmission(packet, tx_time, wire_bytes)
+        self._busy_until = self.sim.now + tx_time
+        # One event delivers the packet after serialization + propagation; the
+        # epoch guard loses it if the link fails while it is in flight.
+        self.sim.call_at(self._busy_until + self.latency,
+                         self._deliver_packet, packet, self._fail_epoch)
+        if self._queue:
+            self._drain_pending = True
+            self.sim.call_at(self._busy_until, self._drain)
 
-    def _finish_transmission(self, packet: Packet) -> None:
-        # Propagation happens in parallel with the next serialization.
-        if not self.failed:
-            self.sim.schedule(self.latency, self._deliver_packet, packet)
-        self._transmit_next()
-
-    def _deliver_packet(self, packet: Packet) -> None:
-        if self.deliver is not None and not self.failed:
+    def _deliver_packet(self, packet: Packet, epoch: int) -> None:
+        if self.deliver is not None and not self.failed and epoch == self._fail_epoch:
             self.deliver(packet, self.src)
 
     # ----------------------------------------------------------- utilization
 
-    def _record_transmission(self, packet: Packet, tx_time: float) -> None:
+    def _record_transmission(self, packet: Packet, tx_time: float,
+                             wire_bytes: float) -> None:
         self.packets_sent += 1
-        self.bytes_sent += packet.wire_bytes
-        if self.stats is not None:
-            self.stats.record_transmission(self, packet)
+        self.bytes_sent += wire_bytes
+        stats = self.stats
+        if stats is not None:
+            # Inlined StatsCollector.record_transmission: the byte accounting
+            # runs once per transmitted packet and the call frame showed up in
+            # profiles.
+            stats.total_packets += 1
+            kind = packet.kind
+            if kind == "data":
+                stats.data_bytes += packet.size_bytes
+                stats.tag_overhead_bytes += packet.extra_header_bits * 0.125
+            elif kind == "ack":
+                stats.ack_bytes += wire_bytes
+            else:
+                stats.probe_bytes += wire_bytes
         self._decay_util()
         # Each transmission contributes its busy time over the averaging window.
         self._util = min(1.5, self._util + tx_time / self.util_window)
@@ -149,16 +189,47 @@ class SimLink:
     def fail(self) -> None:
         """Bring the link down: queued and in-flight packets are lost."""
         self.failed = True
+        self._fail_epoch += 1
         self._queue.clear()
-        self._probe_queue.clear()
 
     def recover(self) -> None:
         """Bring the link back up."""
         self.failed = False
 
+    #: Probe-visible utilization is quantized to this many steps, modelling
+    #: the n-bit utilization register a real switch pipeline carries.  The
+    #: quantization is what lets near-equal paths tie *exactly*, so switches
+    #: keep ECMP groups over them instead of chasing microscopic utilization
+    #: differences — without it, every fresh flowlet of a ToR steers to the
+    #: single momentarily-least-utilized uplink and the tail queue overshoots
+    #: ECMP's (the Figure 13 interaction).
+    UTIL_QUANTUM = 16
+
+    @property
+    def congestion(self) -> float:
+        """Quantized utilization estimate plus standing-queue pressure.
+
+        The transmit EWMA alone saturates at 1.0 and decays within one
+        ``util_window`` regardless of backlog, so two uplinks — one idle, one
+        with 50 queued packets — can look identical to a probe a quarter
+        millisecond later.  Adding the queue's time-to-drain (in units of the
+        averaging window) keeps a congested link's rank elevated until its
+        queue actually empties; this is local data-plane state every switch
+        has, exactly like the utilization register (cf. the
+        flowlet-timeout/util-window tail interaction of Figure 13).
+        """
+        backlog = len(self._queue) / (self.capacity * self.util_window)
+        value = min(1.0, self._util_now()) + backlog
+        quantum = self.UTIL_QUANTUM
+        return round(value * quantum) / quantum
+
+    def _util_now(self) -> float:
+        self._decay_util()
+        return self._util
+
     def metric_values(self) -> dict:
         """The per-link metric values probes fold into their metric vectors."""
-        return {"util": self.utilization, "lat": self.latency, "len": 1.0}
+        return {"util": self.congestion, "lat": self.latency, "len": 1.0}
 
     def __repr__(self) -> str:
         return (f"SimLink({self.src}->{self.dst}, cap={self.capacity}, "

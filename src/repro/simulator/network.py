@@ -77,6 +77,7 @@ class Network:
         self._host_window = host_window
         self._host_rto = host_rto
         self._pending_failures: List[Tuple[float, str, str]] = []
+        self._scheduled_flows = 0
         self._build()
 
     # ------------------------------------------------------------------ build
@@ -90,11 +91,16 @@ class Network:
             self.switches[switch_name] = SwitchNode(self, switch_name, logic)
 
         for link in self.topology.links:
+            # Deliveries call the destination node's receive() directly; the
+            # node objects all exist by now, so no per-delivery lookup is paid.
+            dst_node = self.switches.get(link.dst) or self.hosts.get(link.dst)
+            if dst_node is None:  # pragma: no cover - topology guarantees a node
+                raise SimulationError(f"link {link.src}->{link.dst} has no destination node")
             sim_link = SimLink(
                 self.sim, link.src, link.dst,
                 capacity=link.capacity, latency=link.latency,
                 buffer_packets=self.buffer_packets,
-                deliver=self._deliver_callback(link.dst),
+                deliver=dst_node.receive,
                 stats=self.stats,
                 util_window=self.util_window,
             )
@@ -109,14 +115,6 @@ class Network:
             self.switches[switch].add_host(host_name)
 
         self.routing_system.prepare(self)
-
-    def _deliver_callback(self, dst: str) -> Callable[[Packet, str], None]:
-        def deliver(packet: Packet, inport: str) -> None:
-            node = self.switches.get(dst) or self.hosts.get(dst)
-            if node is None:  # pragma: no cover - construction guarantees a node
-                raise SimulationError(f"packet delivered to unknown node {dst!r}")
-            node.receive(packet, inport)
-        return deliver
 
     # ---------------------------------------------------------------- queries
 
@@ -155,8 +153,9 @@ class Network:
                 raise SimulationError(f"flow references unknown source host {flow.src_host!r}")
             if flow.dst_host not in self.hosts:
                 raise SimulationError(f"flow references unknown destination host {flow.dst_host!r}")
-            self.sim.schedule_at(flow.start_time, self.hosts[flow.src_host].start_flow, flow)
+            self.sim.call_at(flow.start_time, self.hosts[flow.src_host].start_flow, flow)
             count += 1
+        self._scheduled_flows += count
         return count
 
     # ---------------------------------------------------------------- failures
@@ -171,7 +170,7 @@ class Network:
                 self.switches[a].routing.on_link_change(b, failed=True)
             if b in self.switches and bidirectional:
                 self.switches[b].routing.on_link_change(a, failed=True)
-        self.sim.schedule_at(at_time, fail)
+        self.sim.call_at(at_time, fail)
 
     def recover_link(self, a: str, b: str, at_time: float = 0.0, bidirectional: bool = True) -> None:
         """Schedule a link recovery."""
@@ -183,12 +182,20 @@ class Network:
                 self.switches[a].routing.on_link_change(b, failed=False)
             if b in self.switches and bidirectional:
                 self.switches[b].routing.on_link_change(a, failed=False)
-        self.sim.schedule_at(at_time, recover)
+        self.sim.call_at(at_time, recover)
 
     # --------------------------------------------------------------------- run
 
-    def run(self, duration: float) -> StatsCollector:
-        """Start the routing system and run the simulation for ``duration`` ms."""
+    def run(self, duration: float, stop_after_completion: bool = False) -> StatsCollector:
+        """Start the routing system and run the simulation for ``duration`` ms.
+
+        With ``stop_after_completion`` the run ends as soon as every scheduled
+        flow has completed (FCT experiments spend a large fraction of their
+        budget simulating the probe-only tail after the last flow otherwise).
+        Runs with incomplete flows still go the full duration.
+        """
+        if stop_after_completion and self._scheduled_flows > 0:
+            self.stats.watch_completion(self._scheduled_flows, self.sim.stop)
         self.routing_system.start(self)
         self.sim.run(until=duration)
         return self.stats

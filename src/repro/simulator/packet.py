@@ -37,13 +37,14 @@ class PacketKind:
     PROBE = "probe"
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One simulated packet.
 
     Only the fields relevant to the packet's kind are meaningful; e.g. probe
     payloads live in :attr:`probe`, Contra data-plane tags in :attr:`tag` /
-    :attr:`pid`.
+    :attr:`pid`.  The class is slotted: millions of packets are created per
+    run and the per-instance dict would dominate allocation cost.
     """
 
     kind: str
@@ -64,15 +65,20 @@ class Packet:
     ttl: int = 64
     extra_header_bits: int = 0
 
-    # Probe payload (set only for PROBE packets); kept as a plain dict so the
-    # routing systems can stash whatever fields they need.
-    probe: Optional[Dict[str, Any]] = None
+    # Probe payload (set only for PROBE packets); an arbitrary object so each
+    # routing system can stash whatever structure it needs (Hula uses a plain
+    # dict, Contra its immutable ProbePayload).
+    probe: Optional[Any] = None
 
     # SPAIN-style source routing: remaining switch path chosen at ingress.
     source_route: Optional[Tuple[str, ...]] = None
 
     # Cumulative-ACK payload.
     ack_seq: int = -1
+
+    # Cached stable flow hash (computed on first use; the same value is used
+    # by every switch the packet traverses for ECMP/flowlet/loop hashing).
+    flow_hash: Optional[int] = None
 
     # Measurement-only fields (not part of any protocol): the switches this
     # packet visited (populated when StatsCollector.record_paths is on) and
@@ -105,7 +111,9 @@ class Packet:
 
     def __repr__(self) -> str:
         if self.is_probe:
-            return (f"Packet(probe origin={self.probe.get('origin') if self.probe else '?'} "
-                    f"pid={self.pid})")
+            origin = getattr(self.probe, "origin", None)
+            if origin is None and isinstance(self.probe, dict):
+                origin = self.probe.get("origin")
+            return f"Packet(probe origin={origin if origin is not None else '?'} pid={self.pid})"
         return (f"Packet({self.kind} flow={self.flow_id} seq={self.seq} "
                 f"{self.src_host}->{self.dst_host})")

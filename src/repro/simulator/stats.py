@@ -20,6 +20,8 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.simulator.accumulators import ReservoirSampler, StreamingHistogram
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulator.link import SimLink
     from repro.simulator.packet import Packet
@@ -54,20 +56,25 @@ class FlowRecord:
 class StatsCollector:
     """Aggregates measurements across one simulation run."""
 
-    def __init__(self, throughput_bin_ms: float = 1.0, queue_sample_limit: int = 2_000_000,
+    def __init__(self, throughput_bin_ms: float = 1.0,
                  record_paths: bool = False, path_sample_limit: int = 200_000):
         self.flows: Dict[int, FlowRecord] = {}
-        self.queue_samples: List[int] = []
-        self._queue_sample_limit = queue_sample_limit
+        self.completed_count = 0
+        self._completion_target = -1
+        self._completion_callback = None
+        #: Streaming queue-length accumulator: O(1) per sample, bounded memory
+        #: (queue lengths are integers bounded by the buffer size), exact
+        #: percentiles.
+        self.queue_histogram = StreamingHistogram()
         self.throughput_bin_ms = throughput_bin_ms
         self._delivered_bytes_per_bin: Dict[int, float] = defaultdict(float)
 
         #: When enabled, switches append their name to every data packet and
         #: delivered paths are sampled here (used for the §6.5 loop fraction
-        #: and by the policy-compliance tests).
+        #: and by the policy-compliance tests).  A seeded reservoir keeps the
+        #: sample uniform over the whole run in bounded memory.
         self.record_paths = record_paths
-        self._path_sample_limit = path_sample_limit
-        self.delivered_paths: List[Tuple[int, Tuple[str, ...]]] = []
+        self._path_reservoir = ReservoirSampler(path_sample_limit)
 
         # Traffic accounting (bytes on the wire across all links).
         self.data_bytes = 0.0
@@ -97,6 +104,19 @@ class StatsCollector:
         record = self.flows.get(flow_id)
         if record is not None and record.completion_time is None:
             record.completion_time = time
+            self.completed_count += 1
+            if self.completed_count == self._completion_target and \
+                    self._completion_callback is not None:
+                self._completion_callback()
+
+    def watch_completion(self, target: int, callback) -> None:
+        """Invoke ``callback`` once ``target`` flows have completed.
+
+        The FCT experiments use this to stop a run as soon as its last flow
+        finishes instead of simulating the remaining probe-only tail.
+        """
+        self._completion_target = target
+        self._completion_callback = callback
 
     def record_retransmission(self, flow_id: int) -> None:
         record = self.flows.get(flow_id)
@@ -128,30 +148,27 @@ class StatsCollector:
 
     def record_transmission(self, link: "SimLink", packet: "Packet") -> None:
         self.total_packets += 1
-        if packet.is_probe:
-            self.probe_bytes += packet.wire_bytes
-        elif packet.is_ack:
+        kind = packet.kind
+        if kind == "data":
+            self.data_bytes += packet.size_bytes
+            self.tag_overhead_bytes += packet.extra_header_bits * 0.125
+        elif kind == "ack":
             self.ack_bytes += packet.wire_bytes
         else:
-            self.data_bytes += packet.size_bytes
-            self.tag_overhead_bytes += packet.extra_header_bits / 8.0
+            self.probe_bytes += packet.wire_bytes
 
     def record_drop(self, link: "SimLink", packet: "Packet") -> None:
-        if packet.is_probe:
+        if packet.kind == "probe":
             self.probe_drops += 1
         else:
             self.drops += 1
 
     def record_queue_length(self, link: "SimLink", length: int) -> None:
-        if len(self.queue_samples) < self._queue_sample_limit:
-            self.queue_samples.append(length)
+        self.queue_histogram.record(length)
 
     def queue_length_cdf(self, points: Sequence[float] = (0.5, 0.9, 0.99, 1.0)) -> Dict[float, float]:
         """Queue length at the requested CDF points (packets)."""
-        if not self.queue_samples:
-            return {p: 0.0 for p in points}
-        arr = np.asarray(self.queue_samples)
-        return {p: float(np.percentile(arr, 100.0 * p)) for p in points}
+        return {p: self.queue_histogram.percentile(100.0 * p) for p in points}
 
     # ------------------------------------------------------------- throughput
 
@@ -159,9 +176,13 @@ class StatsCollector:
         """Called by hosts when a data packet reaches its destination."""
         bin_index = int(time / self.throughput_bin_ms)
         self._delivered_bytes_per_bin[bin_index] += packet.size_bytes
-        if self.record_paths and packet.path_trace is not None and \
-                len(self.delivered_paths) < self._path_sample_limit:
-            self.delivered_paths.append((packet.flow_id, tuple(packet.path_trace)))
+        if self.record_paths and packet.path_trace is not None:
+            self._path_reservoir.offer((packet.flow_id, tuple(packet.path_trace)))
+
+    @property
+    def delivered_paths(self) -> List[Tuple[int, Tuple[str, ...]]]:
+        """Sampled (flow id, switch path) pairs of delivered data packets."""
+        return self._path_reservoir.samples
 
     def throughput_series(self) -> List[Tuple[float, float]]:
         """(time ms, delivered Gbps-equivalent) samples, one per bin.

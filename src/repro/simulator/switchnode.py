@@ -93,12 +93,12 @@ class SwitchNode:
 
     def receive(self, packet: Packet, inport: str) -> None:
         """Entry point for packets delivered by an ingress link."""
-        if packet.is_probe:
+        if packet.kind == "probe":
             self.routing.on_probe(packet, inport)
             return
 
         # Measurement only: record the path and spot revisits (loops).
-        if self.stats.record_paths and packet.is_data:
+        if self.stats.record_paths and packet.kind == "data":
             if packet.path_trace is None:
                 packet.path_trace = []
             if self.name in packet.path_trace and not packet.looped:
@@ -124,7 +124,7 @@ class SwitchNode:
         if link is None:
             self.stats.drops += 1
             return
-        if packet.is_data:
+        if packet.kind == "data":
             self.stats.data_packets_forwarded += 1
         link.enqueue(packet)
 

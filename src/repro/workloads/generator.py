@@ -151,6 +151,11 @@ def generate_workload(
             break
 
     flows.sort(key=lambda f: f.start_time)
+    # Re-assign flow ids in arrival order: ids seed the stable flow hash that
+    # drives ECMP/flowlet placement, so they must be a deterministic function
+    # of the workload parameters, not of a process-global counter.
+    for index, flow in enumerate(flows):
+        flow.flow_id = index
     return WorkloadSpec(
         flows=flows,
         senders=senders,

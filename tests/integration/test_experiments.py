@@ -77,6 +77,7 @@ class TestScalabilitySweep:
         assert by_policy["CA"].max_state_kb > by_policy["MU"].max_state_kb
         assert by_policy["CA"].num_probe_ids == 2
 
+    @pytest.mark.slow
     def test_state_stays_well_under_switch_capacity(self):
         """Figure 10: even at 500 switches the state stays far below MBs."""
         points = run_scalability_sweep(families=("fattree",), fattree_sizes=(500,),

@@ -1,0 +1,130 @@
+"""Integration tests for the ScenarioSpec/RunContext/run_grid experiment layer.
+
+The contract under test: a spec is pure picklable data, derived state is
+cached per context, and a grid's results are byte-identical whether executed
+serially, re-executed, or fanned across worker processes.
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import SCENARIOS, run_scenario
+from repro.experiments.runner import (
+    RunContext,
+    ScenarioSpec,
+    TopologySpec,
+    resolve_processes,
+    run_grid,
+)
+
+TINY = ExperimentConfig(workload_duration=4.0, run_duration=30.0, loads=(0.6,),
+                        websearch_scale=0.05)
+
+
+def tiny_specs(systems=("ecmp", "contra")):
+    topology = TopologySpec("fattree", k=4, capacity=TINY.host_capacity,
+                            oversubscription=TINY.oversubscription)
+    return [
+        ScenarioSpec(name=f"grid-test:{system}", system=system, topology=topology,
+                     config=TINY, workload="web_search", load=0.6, seed=TINY.seed,
+                     stop_after_completion=True)
+        for system in systems
+    ]
+
+
+class TestScenarioSpec:
+    def test_specs_pickle_roundtrip(self):
+        for spec in tiny_specs():
+            assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_unknown_topology_family_rejected(self):
+        from repro.exceptions import ExperimentError
+        with pytest.raises(ExperimentError):
+            TopologySpec("moebius").build()
+
+    def test_unknown_traffic_shape_rejected(self):
+        from repro.exceptions import ExperimentError
+        spec = tiny_specs()[0]
+        bad = ScenarioSpec(**{**spec.__dict__, "traffic": "carrier-pigeon"})
+        with pytest.raises(ExperimentError):
+            RunContext().run(bad)
+
+
+class TestRunContextCaching:
+    def test_topology_and_compiled_policy_are_reused(self):
+        context = RunContext()
+        spec = tiny_specs(("contra",))[0]
+        first_topology = context.topology(spec.topology)
+        first_compiled = context.compiled_policy(spec.policy, spec.topology)
+        assert context.topology(spec.topology) is first_topology
+        assert context.compiled_policy(spec.policy, spec.topology) is first_compiled
+
+    def test_workload_cache_shares_flows_across_systems(self):
+        context = RunContext()
+        ecmp_spec, contra_spec = tiny_specs()
+        topology = context.topology(ecmp_spec.topology)
+        assert context._flows(ecmp_spec, topology) is context._flows(contra_spec, topology)
+
+
+class TestGridDeterminism:
+    def _summaries(self, results):
+        return [(result.name, sorted(result.summary.items())) for result in results]
+
+    def test_rerun_is_byte_identical(self):
+        first = run_grid(tiny_specs(), processes=1)
+        second = run_grid(tiny_specs(), processes=1)
+        assert self._summaries(first) == self._summaries(second)
+
+    def test_parallel_matches_serial(self):
+        serial = run_grid(tiny_specs(), processes=1)
+        parallel = run_grid(tiny_specs(), processes=2)
+        assert self._summaries(serial) == self._summaries(parallel)
+
+    def test_results_preserve_spec_order(self):
+        specs = tiny_specs(("contra", "ecmp", "hula"))
+        results = run_grid(specs, processes=2)
+        assert [result.name for result in results] == [spec.name for spec in specs]
+
+    def test_same_seed_same_summary_two_contexts(self):
+        spec = tiny_specs(("contra",))[0]
+        first = RunContext().run(spec)
+        second = RunContext().run(spec)
+        assert sorted(first.summary.items()) == sorted(second.summary.items())
+
+
+class TestResolveProcesses:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("CONTRA_PROCS", "7")
+        assert resolve_processes(3, tasks=100) == 3
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("CONTRA_PROCS", "4")
+        assert resolve_processes(None, tasks=100) == 4
+
+    def test_serial_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("CONTRA_PROCS", raising=False)
+        assert resolve_processes(None, tasks=100) == 1
+
+    def test_capped_by_tasks(self):
+        assert resolve_processes(16, tasks=3) == 3
+
+    def test_zero_means_all_cores(self):
+        import os
+        assert resolve_processes(0, tasks=1000) == min(os.cpu_count() or 1, 1000)
+
+
+class TestScenarioRegistry:
+    def test_names_cover_every_figure(self):
+        assert {"fig9-10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+                "ablations"} <= set(SCENARIOS)
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            run_scenario("fig99", TINY)
+
+    def test_fig13_scenario_runs_end_to_end(self):
+        outcome = run_scenario("fig13", TINY)
+        assert "ecmp" in outcome.payload and "contra" in outcome.payload
+        assert "p99" in outcome.text
