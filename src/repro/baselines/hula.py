@@ -146,8 +146,10 @@ class HulaRouting(RoutingLogic):
         return result
 
     def _send_probe(self, neighbor: str, origin: str, version: int, util: float) -> None:
-        if self._believed_failed.get(neighbor, False):
-            return
+        # Believed-failed neighbours still get probes: the failed link drops
+        # them, and the first probe through the recovered link is what clears
+        # the far side's failure belief (recovery detection mirrors failure
+        # detection — both work purely by probe arrival/silence).
         packet = Packet(
             kind=PacketKind.PROBE,
             src_host=self.name,

@@ -43,7 +43,8 @@ def _build_topology(args: argparse.Namespace):
     if name == "fattree":
         return fattree(args.k)
     if name == "leafspine":
-        return leafspine(args.k, args.k, hosts_per_leaf=2)
+        return leafspine(args.leaves or args.k, args.spines or args.k,
+                         hosts_per_leaf=args.hosts_per_leaf)
     if name == "abilene":
         return abilene()
     if name == "random":
@@ -145,6 +146,12 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--topology", default="fattree",
                              help="fattree | leafspine | abilene | random | builtin name | edge-list file")
     compile_cmd.add_argument("--k", type=int, default=4, help="fat-tree arity / leaf-spine size")
+    compile_cmd.add_argument("--leaves", type=int, default=0,
+                             help="leaf-spine leaf count (default: --k)")
+    compile_cmd.add_argument("--spines", type=int, default=0,
+                             help="leaf-spine spine count (default: --k)")
+    compile_cmd.add_argument("--hosts-per-leaf", type=int, default=2,
+                             help="hosts attached to each leaf switch")
     compile_cmd.add_argument("--size", type=int, default=50, help="random topology size")
     compile_cmd.add_argument("--seed", type=int, default=0)
     compile_cmd.add_argument("--emit-p4", metavar="DIR", default=None,

@@ -62,6 +62,11 @@ class ExperimentConfig:
     # Sweep points (paper sweeps 10..90%).
     loads: Tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 0.9)
 
+    # Compiler-scalability sweep sizes (Figure 9/10); run-grid config
+    # overrides reach the sweep through these.
+    scalability_fattree_sizes: Tuple[int, ...] = (20, 125)
+    scalability_random_sizes: Tuple[int, ...] = (100, 200)
+
     def scaled(self, duration_factor: float, loads: Optional[Sequence[float]] = None
                ) -> "ExperimentConfig":
         """A copy with durations scaled and (optionally) different load points."""

@@ -1,15 +1,21 @@
-"""Failure recovery experiment (Figure 14).
+"""Failure and recovery experiments (Figure 14 and the scenario-diversity runs).
 
 The paper sends constant-rate UDP traffic across a fat-tree, fails an
 aggregation–core link mid-run, and plots the aggregate received throughput
 over time: both Contra and Hula detect the failure within a few probe periods
 and recover the throughput within about a millisecond.
 
-:func:`run_failure_recovery` reproduces that timeline for any of the
-probe-driven systems and also reports the measured detection and recovery
-delays so EXPERIMENTS.md can compare them against the paper's 800 µs / 1 ms.
-The per-system runs are grid scenarios (constant-stream traffic shape), so
-they fan across cores like every other experiment.
+Three drivers live here, all executing through the grid runner:
+
+* :func:`run_failure_recovery` — the Figure 14 timeline (single permanent
+  failure on a fat-tree) plus measured detection and recovery delays;
+* :func:`run_recovery_sweep` — a fail→recover schedule on a (non-square)
+  leaf-spine: throughput dips at the failure and must return to the baseline
+  after the link comes back (§6.3's "and back" half that a permanent failure
+  cannot exercise);
+* :func:`run_multi_failure` — a sequence of distant link failures on a
+  Topology-Zoo WAN (the Crux-style scenario), comparing how static and
+  probe-driven systems degrade.
 """
 
 from __future__ import annotations
@@ -21,9 +27,22 @@ import numpy as np
 
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.fct import fattree_spec
-from repro.experiments.runner import ScenarioSpec, run_grid
+from repro.experiments.runner import (
+    LinkEvent,
+    RunResult,
+    ScenarioSpec,
+    TopologySpec,
+    run_grid,
+)
 
-__all__ = ["RecoveryResult", "run_failure_recovery"]
+__all__ = [
+    "RecoveryResult",
+    "run_failure_recovery",
+    "RecoverySweepResult",
+    "run_recovery_sweep",
+    "MULTI_FAILURE_DEFAULT_EVENTS",
+    "run_multi_failure",
+]
 
 
 @dataclass
@@ -130,3 +149,170 @@ def _analyse(system: str, series: List[Tuple[float, float]], failure_time: float
         recovery_delay=recovery_delay,
         failure_detections=failure_detections,
     )
+
+
+# =============================================================================
+# Fail→recover sweep (leaf-spine) and multi-failure schedules (WAN)
+# =============================================================================
+
+@dataclass
+class RecoverySweepResult:
+    """Throughput timeline around a fail→recover schedule for one system."""
+
+    system: str
+    fail_time: float
+    recover_time: float
+    throughput: List[Tuple[float, float]]
+    baseline_rate: float
+    #: ms after the failure of the first visibly dipped throughput bin
+    #: (NaN if the dip was too small to register).
+    dip_delay: float
+    #: mean delivered rate measured after the link came back.
+    post_recovery_rate: float
+
+    @property
+    def recovery_ratio(self) -> float:
+        """Post-recovery rate as a fraction of the pre-failure baseline."""
+        if self.baseline_rate <= 0:
+            return float("nan")
+        return self.post_recovery_rate / self.baseline_rate
+
+
+def recovery_sweep_topology(config: ExperimentConfig) -> TopologySpec:
+    """The non-square leaf-spine fabric of the recovery sweep (4 leaves, 2 spines)."""
+    return TopologySpec("leafspine", leaves=4, spines=2, hosts_per_switch=2,
+                        capacity=config.host_capacity, oversubscription=1.0)
+
+
+def run_recovery_sweep(
+    config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("contra", "hula"),
+    fail_time: float = 10.0,
+    recover_time: float = 25.0,
+    run_duration: float = 40.0,
+    stream_rate: Optional[float] = None,
+    streams_per_pair: int = 4,
+    failed_link: Tuple[str, str] = ("spine0", "leaf2"),
+    processes: Optional[int] = None,
+) -> Dict[str, RecoverySweepResult]:
+    """Fail a leaf-spine link mid-run and bring it back: the full cycle.
+
+    Constant-rate streams cross the fabric; the schedule fails
+    ``failed_link`` at ``fail_time`` and recovers it at ``recover_time``.
+    The default failure is a spine *down-link* towards a receiver leaf — a
+    failure **remote** from the sending leaves' path choice, so traffic
+    pinned through that spine blackholes until probe silence exposes it
+    (failing a sender-adjacent uplink would be absorbed instantly by the
+    local ``link_failed`` check and never dip).  Throughput must dip at the
+    failure and return to the pre-failure baseline once probes flow through
+    the recovered link again.
+    """
+    config = config or default_config()
+    if not fail_time < recover_time < run_duration:
+        raise ValueError("expected fail_time < recover_time < run_duration")
+    if stream_rate is None:
+        stream_rate = 0.06 * config.host_capacity
+
+    specs = [
+        ScenarioSpec(
+            name=f"recovery-sweep:{system}",
+            system=system,
+            topology=recovery_sweep_topology(config),
+            config=config,
+            policy="datacenter",
+            workload="",
+            traffic="streams",
+            stream_rate=stream_rate,
+            stream_start=0.5,
+            streams_per_pair=streams_per_pair,
+            events=(LinkEvent(fail_time, failed_link[0], failed_link[1], "fail"),
+                    LinkEvent(recover_time, failed_link[0], failed_link[1], "recover")),
+            run_duration=run_duration,
+            collect_throughput=True,
+        )
+        for system in systems
+    ]
+    results: Dict[str, RecoverySweepResult] = {}
+    for result in run_grid(specs, processes):
+        results[result.system] = _analyse_sweep(
+            result.system, result.throughput or [], fail_time, recover_time)
+    return results
+
+
+def _analyse_sweep(system: str, series: List[Tuple[float, float]], fail_time: float,
+                   recover_time: float) -> RecoverySweepResult:
+    before = [rate for time, rate in series if 2.0 <= time < fail_time - 1.0]
+    baseline = float(np.mean(before)) if before else 0.0
+    threshold = baseline - max(1.0, 0.05 * baseline)
+    dip_delay = float("nan")
+    for time, rate in series:
+        if time >= fail_time and rate < threshold:
+            dip_delay = time - fail_time
+            break
+    # Give the recovered link one millisecond of settling before measuring,
+    # and stop short of the final bin, which may be truncated by the run end —
+    # unless that final bin is the only post-recovery sample available.
+    after = [rate for time, rate in series[:-1] if time >= recover_time + 1.0]
+    if not after:
+        after = [rate for time, rate in series if time >= recover_time + 1.0]
+    post = float(np.mean(after)) if after else float("nan")
+    return RecoverySweepResult(
+        system=system,
+        fail_time=fail_time,
+        recover_time=recover_time,
+        throughput=series,
+        baseline_rate=baseline,
+        dip_delay=dip_delay,
+        post_recovery_rate=post,
+    )
+
+
+#: Two geographically distant NSFNET failures (west-coast feed, then the
+#: NY–NJ east-coast link) — a Crux-style sequence that forces rerouting
+#: decisions far from the first failure while the backbone stays connected.
+MULTI_FAILURE_DEFAULT_EVENTS: Tuple[Tuple[float, str, str, str], ...] = (
+    (6.0, "WA", "IL", "fail"),
+    (12.0, "NY", "NJ", "fail"),
+)
+
+
+def multi_failure_topology(config: ExperimentConfig, name: str = "nsfnet") -> TopologySpec:
+    """The Topology-Zoo WAN the multi-failure scenario runs on."""
+    return TopologySpec("zoo", name=name, hosts_per_switch=1,
+                        capacity=config.abilene_capacity)
+
+
+def run_multi_failure(
+    config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("shortest-path", "contra"),
+    events: Sequence[Tuple[float, str, str, str]] = MULTI_FAILURE_DEFAULT_EVENTS,
+    topology_name: str = "nsfnet",
+    workload: str = "web_search",
+    load: float = 0.6,
+    processes: Optional[int] = None,
+) -> List[RunResult]:
+    """A sequence of link failures on a WAN, as a plain grid of scenarios.
+
+    Static shortest-path routing keeps sending into the failed links and
+    loses the affected flows; Contra's probes route around each failure in
+    turn.  The returned :class:`RunResult` summaries carry completion counts
+    and drops for the report table.
+    """
+    config = config or default_config()
+    schedule = tuple(LinkEvent(*event) for event in events)
+    specs = [
+        ScenarioSpec(
+            name=f"multi-failure:{system}",
+            system=system,
+            topology=multi_failure_topology(config, topology_name),
+            config=config,
+            policy="wan",
+            workload=workload,
+            load=load,
+            seed=config.seed,
+            events=schedule,
+            respect_compiled_probe_period=True,
+        )
+        for system in systems
+    ]
+    return run_grid(specs, processes)

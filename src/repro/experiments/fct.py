@@ -37,6 +37,7 @@ __all__ = [
     "run_fattree_fct",
     "run_abilene_fct",
     "run_queue_cdf",
+    "run_incast",
 ]
 
 
@@ -190,6 +191,41 @@ def run_queue_cdf(
         for system in systems
     ]
     return {result.system: result.queue_cdf for result in run_grid(specs, processes)}
+
+
+def run_incast(
+    config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("ecmp", "contra", "hula"),
+    fanins: Sequence[int] = (4, 8),
+    load: float = 0.8,
+    workload: str = "cache",
+    processes: Optional[int] = None,
+) -> List[RunResult]:
+    """N-to-1 fan-in traffic on the fat-tree (the Harmonia-style workload).
+
+    ``load`` is the offered load at the *receiver's* access link; the grid
+    sweeps the fan-in degree so the report shows how each system copes as
+    more senders converge on one host.
+    """
+    config = config or default_config()
+    specs = [
+        ScenarioSpec(
+            name=f"incast:{fanin}to1:{system}",
+            system=system,
+            topology=fattree_spec(config),
+            config=config,
+            policy="datacenter",
+            workload=workload,
+            load=load,
+            seed=config.seed,
+            traffic="incast",
+            incast_fanin=fanin,
+            stop_after_completion=True,
+        )
+        for fanin in fanins
+        for system in systems
+    ]
+    return run_grid(specs, processes)
 
 
 def _to_point(result: RunResult) -> FctPoint:

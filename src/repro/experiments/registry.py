@@ -20,8 +20,12 @@ from repro.experiments.ablations import (
     run_versioning_ablation,
 )
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.failure_recovery import run_failure_recovery
-from repro.experiments.fct import run_abilene_fct, run_fattree_fct, run_queue_cdf
+from repro.experiments.failure_recovery import (
+    run_failure_recovery,
+    run_multi_failure,
+    run_recovery_sweep,
+)
+from repro.experiments.fct import run_abilene_fct, run_fattree_fct, run_incast, run_queue_cdf
 from repro.experiments.overhead import run_overhead_experiment
 from repro.experiments.scalability import run_scalability_sweep
 
@@ -38,7 +42,8 @@ class ScenarioOutcome:
 
 
 def _fig9_10(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
-    points = run_scalability_sweep(fattree_sizes=(20, 125), random_sizes=(100, 200),
+    points = run_scalability_sweep(fattree_sizes=config.scalability_fattree_sizes,
+                                   random_sizes=config.scalability_random_sizes,
                                    processes=processes)
     return ScenarioOutcome("fig9-10", report.format_scalability(points),
                            [asdict(p) for p in points])
@@ -108,6 +113,38 @@ def _ablations(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOu
     return ScenarioOutcome("ablations", text, payload)
 
 
+def _incast(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
+    results = run_incast(config, processes=processes)
+    return ScenarioOutcome("incast",
+                           report.format_grid(results, "Incast: N-to-1 fan-in FCT"),
+                           [asdict(r) for r in results])
+
+
+def _multi_failure(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
+    results = run_multi_failure(config, processes=processes)
+    return ScenarioOutcome(
+        "multi-failure",
+        report.format_grid(results, "Multi-failure schedule on NSFNET (WAN)"),
+        [asdict(r) for r in results])
+
+
+def _recovery_sweep(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
+    results = run_recovery_sweep(config, processes=processes)
+    payload = {
+        system: {
+            "fail_time_ms": outcome.fail_time,
+            "recover_time_ms": outcome.recover_time,
+            "baseline_rate": outcome.baseline_rate,
+            "dip_delay_ms": outcome.dip_delay,
+            "post_recovery_rate": outcome.post_recovery_rate,
+            "recovery_ratio": outcome.recovery_ratio,
+        }
+        for system, outcome in results.items()
+    }
+    return ScenarioOutcome("recovery-sweep", report.format_recovery_sweep(results),
+                           payload)
+
+
 #: Scenario name -> runner; each entry executes through the grid runner.
 SCENARIOS: Dict[str, Callable[[ExperimentConfig, Optional[int]], ScenarioOutcome]] = {
     "fig9-10": _fig9_10,
@@ -118,6 +155,9 @@ SCENARIOS: Dict[str, Callable[[ExperimentConfig, Optional[int]], ScenarioOutcome
     "fig15": _fig15,
     "fig16": _fig16,
     "ablations": _ablations,
+    "incast": _incast,
+    "multi-failure": _multi_failure,
+    "recovery-sweep": _recovery_sweep,
 }
 
 

@@ -15,6 +15,8 @@ __all__ = [
     "format_fct",
     "format_queue_cdf",
     "format_recovery",
+    "format_recovery_sweep",
+    "format_grid",
     "format_overhead",
     "format_ablation",
 ]
@@ -59,7 +61,7 @@ def format_scalability(points, title: str = "Figure 9/10: compiler scalability")
 
 
 def format_fct(points, title: str = "Average flow completion time (ms)") -> str:
-    rows = [(p.workload, f"{int(p.load * 100)}%", p.system, p.avg_fct_ms, p.p99_fct_ms,
+    rows = [(p.workload, f"{round(p.load * 100)}%", p.system, p.avg_fct_ms, p.p99_fct_ms,
              f"{p.completed}/{p.flows}", p.drops, p.loop_fraction) for p in points]
     return format_table(
         ("workload", "load", "system", "avg_fct_ms", "p99_fct_ms", "completed", "drops", "loops"),
@@ -85,8 +87,36 @@ def format_recovery(results: Mapping[str, object],
         rows, title=title)
 
 
+def format_recovery_sweep(results: Mapping[str, object],
+                          title: str = "Recovery sweep: fail -> recover cycle") -> str:
+    rows = []
+    for system, result in results.items():
+        rows.append((system, result.fail_time, result.recover_time,
+                     result.baseline_rate, result.dip_delay,
+                     result.post_recovery_rate, result.recovery_ratio))
+    return format_table(
+        ("system", "fail_ms", "recover_ms", "baseline_rate", "dip_after_ms",
+         "post_recovery_rate", "recovery_ratio"),
+        rows, title=title)
+
+
+def format_grid(results, title: str = "Grid results") -> str:
+    """A generic table over :class:`~repro.experiments.runner.RunResult` rows."""
+    rows = []
+    for r in results:
+        summary = r.summary
+        rows.append((r.name, r.system, f"{round(r.load * 100)}%",
+                     summary.get("avg_fct_ms", float("nan")),
+                     summary.get("p99_fct_ms", float("nan")),
+                     f"{int(summary.get('completed_flows', 0))}/{int(summary.get('flows', 0))}",
+                     int(summary.get("drops", 0))))
+    return format_table(
+        ("scenario", "system", "load", "avg_fct_ms", "p99_fct_ms", "completed", "drops"),
+        rows, title=title)
+
+
 def format_overhead(points, title: str = "Figure 16: traffic overhead (normalized to ECMP)") -> str:
-    rows = [(p.workload, f"{int(p.load * 100)}%", p.system, p.normalized_vs_ecmp,
+    rows = [(p.workload, f"{round(p.load * 100)}%", p.system, p.normalized_vs_ecmp,
              p.normalized_vs_ecmp_scaled, p.probe_bytes, p.tag_bytes, p.loop_fraction)
             for p in points]
     return format_table(

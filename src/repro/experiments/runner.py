@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import EcmpSystem, HulaSystem, ShortestPathSystem, SpainSystem
@@ -42,7 +42,9 @@ from repro.topology.fattree import fattree
 from repro.topology.graph import Topology
 from repro.topology.leafspine import leafspine
 from repro.topology.random_graphs import random_network
+from repro.topology.zoo import builtin_topology
 from repro.workloads import distribution_by_name, generate_workload
+from repro.workloads.generator import incast_pairs, permutation_pairs
 
 __all__ = [
     "SimulationResult",
@@ -53,6 +55,7 @@ __all__ = [
     "SYSTEM_NAMES",
     "POLICY_BUILDERS",
     "TopologySpec",
+    "LinkEvent",
     "ScenarioSpec",
     "RunResult",
     "RunContext",
@@ -198,30 +201,121 @@ def run_simulation(
 # Experiment layer: declarative scenarios and the grid runner
 # =============================================================================
 
+#: Per-link propagation delay every generator defaults to; a spec leaving
+#: ``latency`` at this value means "family default".
+_DEFAULT_LATENCY = 0.05
+
+
 @dataclass(frozen=True)
 class TopologySpec:
-    """A declarative, hashable description of a topology (cache key + recipe)."""
+    """A declarative, hashable description of a topology (cache key + recipe).
 
-    family: str                         # fattree | leafspine | abilene | random
-    k: int = 4                          # fat-tree arity / leaf-spine size
+    Specs are cache keys, so :meth:`build` applies **every** field that is
+    meaningful for the family and raises :class:`ExperimentError` for fields
+    set to a non-default value the family cannot honour — a silently dropped
+    field would let two specs that *meaningfully differ* cache under distinct
+    keys yet build identical networks.  (The sentinel shorthands — 0 meaning
+    "family default" for ``hosts_per_switch``/``oversubscription``/``leaves``/
+    ``spines`` — intentionally alias their spelled-out equivalents; a grid
+    should pick one spelling to share the cache.)
+    """
+
+    family: str                         # fattree | leafspine | abilene | random | zoo
+    k: int = 4                          # fat-tree arity / square leaf-spine size
     size: int = 0                       # random-graph switch count
     capacity: float = 100.0
-    oversubscription: float = 4.0
-    hosts_per_switch: int = 1
+    #: Uplink oversubscription ratio for the Clos families; 0 means the
+    #: generator default (1:1, no oversubscription).
+    oversubscription: float = 0.0
+    #: Hosts attached per edge/leaf/PoP switch; 0 means the family default
+    #: (k/2 per fat-tree edge switch, 2 per leaf, 1 per WAN PoP).
+    hosts_per_switch: int = 0
     seed: int = 0
+    leaves: int = 0                     # leaf-spine leaf count (0 -> k)
+    spines: int = 0                     # leaf-spine spine count (0 -> k)
+    latency: float = _DEFAULT_LATENCY
+    name: str = ""                      # zoo: bundled topology name (nsfnet, ...)
+
+    def _reject_unsupported(self, **used) -> None:
+        """Raise if a field with a non-default value is unused by this family.
+
+        Defaults come from the dataclass fields themselves, so changing a
+        field default cannot drift out of sync with this validation.
+        ``family`` is the discriminator and ``capacity`` is honoured by every
+        family; everything else must be declared used or left at its default.
+        """
+        for spec_field in fields(self):
+            if spec_field.name in ("family", "capacity"):
+                continue
+            if used.get(spec_field.name):
+                continue
+            if getattr(self, spec_field.name) != spec_field.default:
+                raise ExperimentError(
+                    f"TopologySpec field {spec_field.name!r}="
+                    f"{getattr(self, spec_field.name)!r} "
+                    f"is not supported by family {self.family!r}")
 
     def build(self) -> Topology:
         if self.family == "fattree":
+            self._reject_unsupported(k=True, oversubscription=True,
+                                     hosts_per_switch=True, latency=True)
             return fattree(self.k, capacity=self.capacity,
-                           oversubscription=self.oversubscription)
+                           hosts_per_edge=self.hosts_per_switch or None,
+                           oversubscription=self.oversubscription or 1.0,
+                           latency=self.latency)
         if self.family == "leafspine":
-            return leafspine(self.k, self.k, hosts_per_leaf=self.hosts_per_switch,
-                             capacity=self.capacity)
+            # k is the square-fabric shorthand; once both leaves and spines
+            # are explicit it would be silently dropped, so reject it then.
+            self._reject_unsupported(k=not (self.leaves and self.spines),
+                                     oversubscription=True,
+                                     hosts_per_switch=True, leaves=True,
+                                     spines=True, latency=True)
+            return leafspine(self.leaves or self.k, self.spines or self.k,
+                             hosts_per_leaf=self.hosts_per_switch or 2,
+                             capacity=self.capacity,
+                             oversubscription=self.oversubscription or 1.0,
+                             latency=self.latency)
         if self.family == "abilene":
-            return abilene(capacity=self.capacity, hosts_per_switch=self.hosts_per_switch)
+            self._reject_unsupported(hosts_per_switch=True)
+            return abilene(capacity=self.capacity,
+                           hosts_per_switch=self.hosts_per_switch or 1)
         if self.family == "random":
-            return random_network(self.size, seed=self.seed)
+            self._reject_unsupported(size=True, seed=True,
+                                     hosts_per_switch=True, latency=True)
+            if self.size < 2:
+                raise ExperimentError("random topology spec needs size >= 2")
+            return random_network(self.size, seed=self.seed,
+                                  capacity=self.capacity,
+                                  hosts_per_switch=self.hosts_per_switch,
+                                  latency=self.latency)
+        if self.family == "zoo":
+            # Abilene's generator has per-link latencies (scaled), not a
+            # single default; a generic latency would be silently dropped.
+            self._reject_unsupported(name=True, hosts_per_switch=True,
+                                     latency=self.name != "abilene")
+            if not self.name:
+                raise ExperimentError("zoo topology spec needs a builtin name")
+            kwargs = dict(hosts_per_switch=self.hosts_per_switch or 1,
+                          default_capacity=self.capacity)
+            if self.name != "abilene":
+                kwargs["default_latency"] = self.latency
+            return builtin_topology(self.name, **kwargs)
         raise ExperimentError(f"unknown topology family {self.family!r}")
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """One scheduled topology event: fail or recover the (a, b) link at ``time``.
+
+    Events are plain picklable data, so a spec can carry an arbitrary
+    fail/recover schedule (multi-failure sequences, fail→recover sweeps)
+    through the grid runner unchanged.
+    """
+
+    time: float
+    a: str
+    b: str
+    action: str = "fail"                # "fail" | "recover"
 
 
 @dataclass(frozen=True)
@@ -242,18 +336,30 @@ class ScenarioSpec:
     load: float = 0.0
     seed: int = 1
 
-    # Traffic shape: Poisson flow arrivals ("flows") or constant-rate UDP
-    # streams between host pairs ("streams", the Figure 14 traffic).
+    # Traffic shape: Poisson flow arrivals ("flows"), N-to-1 fan-in flow
+    # arrivals ("incast"), derangement-paired flow arrivals ("permutation"),
+    # or constant-rate UDP streams between host pairs ("streams", the
+    # Figure 14 traffic).
     traffic: str = "flows"
     workload_host_rate: Optional[float] = None   # per-sender offered rate override
+    #: Flow-size distribution scale override (sensitivity knob); None uses the
+    #: config's per-workload scale (1.0 for non-paper workloads).
+    workload_scale: Optional[float] = None
     senders: Optional[Tuple[str, ...]] = None
     receivers: Optional[Tuple[str, ...]] = None
     pair_senders_receivers: bool = False
+    #: Incast shape: how many senders fan in (None = every other host) and to
+    #: which host (None = a seed-deterministic choice).
+    incast_fanin: Optional[int] = None
+    incast_receiver: Optional[str] = None
     stream_rate: Optional[float] = None          # packets/ms per stream
     stream_start: float = 0.5
     streams_per_pair: int = 1
 
-    # Failure injection.
+    # Failure/recovery schedule: an ordered tuple of LinkEvents (or plain
+    # (time, a, b, action) tuples).  The single-failure fields below remain
+    # as a compatibility shim and are folded into the schedule at run time.
+    events: Tuple[LinkEvent, ...] = ()
     fail_agg_core_link: bool = False
     failed_link: Optional[Tuple[str, str]] = None
     failure_time: float = 0.0
@@ -324,24 +430,53 @@ class RunContext:
             self._compiled[key] = compiled
         return compiled
 
+    def _workload_scale(self, spec: ScenarioSpec) -> float:
+        if spec.workload_scale is not None:
+            return spec.workload_scale
+        config = spec.config
+        if spec.workload == "web_search":
+            return config.websearch_scale
+        if spec.workload == "cache":
+            return config.cache_scale
+        return 1.0
+
     def _flows(self, spec: ScenarioSpec, topology: Topology) -> Sequence[Flow]:
         config = spec.config
-        scale = (config.websearch_scale if spec.workload == "web_search"
-                 else config.cache_scale)
-        key = (spec.topology, spec.workload, scale, spec.load, spec.seed,
-               config.workload_duration, spec.workload_host_rate or config.host_capacity,
-               spec.senders, spec.receivers, spec.pair_senders_receivers, config.warmup)
+        scale = self._workload_scale(spec)
+
+        senders, receivers = spec.senders, spec.receivers
+        paired = spec.pair_senders_receivers
+        load = spec.load
+        if spec.traffic == "incast":
+            incast_senders, incast_receivers = incast_pairs(
+                topology, receiver=spec.incast_receiver, fanin=spec.incast_fanin,
+                seed=spec.seed)
+            senders, receivers = tuple(incast_senders), tuple(incast_receivers)
+            paired = True
+            # Incast load targets the *receiver* access link: N senders share
+            # the offered load so the fan-in sums to ``load`` at the sink.
+            load = spec.load / len(senders)
+        elif spec.traffic == "permutation":
+            perm_senders, perm_receivers = permutation_pairs(topology, seed=spec.seed)
+            senders, receivers = tuple(perm_senders), tuple(perm_receivers)
+            paired = True
+
+        key = (spec.topology, spec.traffic, spec.workload, scale, spec.load,
+               spec.seed, config.workload_duration,
+               spec.workload_host_rate or config.host_capacity,
+               senders, receivers, paired,
+               spec.incast_fanin, spec.incast_receiver, config.warmup)
         cached = self._workloads.get(key)
         if cached is None:
             distribution = distribution_by_name(spec.workload, scale)
             cached = generate_workload(
-                topology, distribution, load=spec.load,
+                topology, distribution, load=load,
                 duration=config.workload_duration,
                 host_capacity=spec.workload_host_rate or config.host_capacity,
                 seed=spec.seed,
-                senders=list(spec.senders) if spec.senders else None,
-                receivers=list(spec.receivers) if spec.receivers else None,
-                pair_senders_receivers=spec.pair_senders_receivers,
+                senders=list(senders) if senders else None,
+                receivers=list(receivers) if receivers else None,
+                pair_senders_receivers=paired,
                 start_after=config.warmup,
             )
             self._workloads[key] = cached
@@ -349,7 +484,24 @@ class RunContext:
 
     # --------------------------------------------------------------- execution
 
+    @staticmethod
+    def _validate_traffic_fields(spec: ScenarioSpec) -> None:
+        """Reject spec fields the selected traffic shape would silently ignore."""
+        if spec.traffic in ("incast", "permutation") and (
+                spec.senders is not None or spec.receivers is not None
+                or spec.pair_senders_receivers):
+            raise ExperimentError(
+                f"traffic={spec.traffic!r} computes its own sender/receiver "
+                f"pairing; explicit senders/receivers/pair_senders_receivers "
+                f"would be ignored")
+        if spec.traffic != "incast" and (
+                spec.incast_fanin is not None or spec.incast_receiver is not None):
+            raise ExperimentError(
+                f"incast_fanin/incast_receiver require traffic='incast', "
+                f"got traffic={spec.traffic!r}")
+
     def run(self, spec: ScenarioSpec) -> RunResult:
+        self._validate_traffic_fields(spec)
         topology = self.topology(spec.topology)
         config = spec.config
 
@@ -382,18 +534,22 @@ class RunContext:
 
         run_duration = spec.run_duration if spec.run_duration is not None \
             else config.run_duration
-        if spec.traffic == "flows":
+        if spec.traffic in ("flows", "incast", "permutation"):
             network.schedule_flows(self._flows(spec, topology))
         elif spec.traffic == "streams":
             self._schedule_streams(spec, topology, network, run_duration)
         else:
             raise ExperimentError(f"unknown traffic shape {spec.traffic!r}")
 
-        failed_link = spec.failed_link
-        if failed_link is None and spec.fail_agg_core_link:
-            failed_link = default_failed_link(topology)
-        if failed_link is not None:
-            network.fail_link(failed_link[0], failed_link[1], at_time=spec.failure_time)
+        for event in self._link_events(spec, topology):
+            if event.action == "fail":
+                network.fail_link(event.a, event.b, at_time=event.time)
+            elif event.action == "recover":
+                network.recover_link(event.a, event.b, at_time=event.time)
+            else:
+                raise ExperimentError(
+                    f"unknown link event action {event.action!r} "
+                    f"(expected 'fail' or 'recover')")
 
         stats = network.run(run_duration,
                             stop_after_completion=spec.stop_after_completion)
@@ -407,6 +563,22 @@ class RunContext:
             queue_cdf=stats.queue_length_cdf(spec.cdf_points) if spec.cdf_points else None,
             throughput=stats.throughput_series() if spec.collect_throughput else None,
         )
+
+    def _link_events(self, spec: ScenarioSpec, topology: Topology) -> List[LinkEvent]:
+        """The spec's full event schedule, legacy single-failure fields folded in."""
+        events = [event if isinstance(event, LinkEvent) else LinkEvent(*event)
+                  for event in spec.events]
+        failed_link = spec.failed_link
+        if failed_link is None and spec.fail_agg_core_link:
+            failed_link = default_failed_link(topology)
+        if failed_link is not None:
+            events.append(LinkEvent(spec.failure_time, failed_link[0], failed_link[1],
+                                    "fail"))
+        for event in events:
+            if not topology.has_link(event.a, event.b):
+                raise ExperimentError(
+                    f"link event references unknown link {event.a!r}-{event.b!r}")
+        return sorted(events, key=lambda event: event.time)
 
     def _schedule_streams(self, spec: ScenarioSpec, topology: Topology,
                           network: Network, run_duration: float) -> None:

@@ -204,8 +204,11 @@ class ContraRouting(RoutingLogic):
         for neighbor in self.config.multicast_targets(payload.tag):
             if exclude is not None and self.system.split_horizon and neighbor == exclude:
                 continue
-            if self._believed_failed.get(neighbor, False):
-                continue
+            # Probes are still multicast towards believed-failed neighbours:
+            # a failed link simply drops them, and their arrival after the
+            # link comes back is what clears the failure belief on the far
+            # side.  Suppressing them would make recovery undetectable —
+            # both endpoints would wait forever for the other's probes.
             if packet is None:
                 packet = make_probe_packet(payload, self.switch.name, self._probe_bits)
             self.switch.send_probe(packet, neighbor)

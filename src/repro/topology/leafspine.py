@@ -23,19 +23,26 @@ def leafspine(
     capacity: float = 10.0,
     latency: float = 0.05,
     host_capacity: Optional[float] = None,
+    oversubscription: float = 1.0,
     name: Optional[str] = None,
 ) -> Topology:
     """Build a leaf-spine topology.
 
     Parameters mirror :func:`repro.topology.fattree.fattree`; leaf switches are
     named ``leaf0..``, spines ``spine0..`` and hosts ``h{leaf}_{j}``.
+    ``oversubscription`` divides the leaf-to-spine uplink capacity relative to
+    the host-facing capacity, the same convention the fat-tree generator uses
+    for its edge-to-aggregation links.
     """
     if leaves < 1 or spines < 1:
         raise TopologyError("leaf-spine requires at least one leaf and one spine")
     if hosts_per_leaf < 0:
         raise TopologyError("hosts_per_leaf must be non-negative")
+    if oversubscription <= 0:
+        raise TopologyError("oversubscription must be positive")
     if host_capacity is None:
         host_capacity = capacity
+    uplink_capacity = capacity / oversubscription
 
     topo = Topology(name or f"leafspine-{leaves}x{spines}")
     spine_names = [f"spine{i}" for i in range(spines)]
@@ -48,7 +55,7 @@ def leafspine(
 
     for leaf in leaf_names:
         for spine in spine_names:
-            topo.add_link(leaf, spine, capacity=capacity, latency=latency)
+            topo.add_link(leaf, spine, capacity=uplink_capacity, latency=latency)
 
     for l_idx, leaf in enumerate(leaf_names):
         for j in range(hosts_per_leaf):

@@ -144,6 +144,16 @@ def builtin_topologies() -> List[str]:
 def builtin_topology(name: str, hosts_per_switch: int = 0, **kwargs) -> Topology:
     """Load a bundled topology by name (``abilene``, ``nsfnet``, ``geant_small``, ``ring8``)."""
     if name == "abilene":
+        # Abilene has its own generator: default_capacity maps onto its
+        # backbone capacity, but its per-link latencies are intrinsic —
+        # reject default_latency rather than silently dropping it.
+        if "default_latency" in kwargs:
+            raise TopologyError(
+                "abilene has intrinsic per-link latencies; default_latency is "
+                "not supported (use scale_latency)")
+        capacity = kwargs.pop("default_capacity", None)
+        if capacity is not None:
+            kwargs.setdefault("capacity", capacity)
         return abilene(hosts_per_switch=hosts_per_switch, **kwargs)
     try:
         edges = _BUILTIN_EDGE_LISTS[name]

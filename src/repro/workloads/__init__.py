@@ -13,6 +13,8 @@ from repro.workloads.distributions import (
 from repro.workloads.generator import (
     WorkloadSpec,
     generate_workload,
+    incast_pairs,
+    permutation_pairs,
     random_pairs,
     split_senders_receivers,
 )
@@ -30,4 +32,6 @@ __all__ = [
     "generate_workload",
     "split_senders_receivers",
     "random_pairs",
+    "incast_pairs",
+    "permutation_pairs",
 ]

@@ -140,13 +140,20 @@ def _scaled(cdf: EmpiricalCDF, scale: float) -> EmpiricalCDF:
     return EmpiricalCDF(f"{cdf.name}-x{scale:g}", tuple(fixed))
 
 
-WORKLOAD_NAMES = ("web_search", "cache")
+WORKLOAD_NAMES = ("web_search", "cache", "uniform")
 
 
 def distribution_by_name(name: str, scale: float = 1.0) -> EmpiricalCDF:
-    """Look up one of the paper's workloads by name."""
+    """Look up a named flow-size distribution, scaled by ``scale``.
+
+    ``web_search`` and ``cache`` are the paper's workloads; ``uniform`` is the
+    flat sensitivity distribution (sizes 1..20 packets at scale 1.0, the upper
+    bound scaling with ``scale``).
+    """
     if name == "web_search":
         return web_search_distribution(scale)
     if name == "cache":
         return cache_distribution(scale)
+    if name == "uniform":
+        return _scaled(uniform_distribution(), scale)
     raise WorkloadError(f"unknown workload {name!r}; available: {WORKLOAD_NAMES}")

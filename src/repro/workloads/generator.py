@@ -22,7 +22,14 @@ from repro.simulator.flow import Flow
 from repro.topology.graph import Topology
 from repro.workloads.distributions import EmpiricalCDF
 
-__all__ = ["WorkloadSpec", "generate_workload", "split_senders_receivers", "random_pairs"]
+__all__ = [
+    "WorkloadSpec",
+    "generate_workload",
+    "split_senders_receivers",
+    "random_pairs",
+    "incast_pairs",
+    "permutation_pairs",
+]
 
 
 @dataclass
@@ -86,6 +93,58 @@ def random_pairs(topology: Topology, pairs: int, seed: int = 0,
     return senders, receivers
 
 
+def incast_pairs(
+    topology: Topology,
+    receiver: Optional[str] = None,
+    fanin: Optional[int] = None,
+    seed: int = 0,
+) -> Tuple[List[str], List[str]]:
+    """N-to-1 fan-in pairing: every sender targets the same receiver host.
+
+    The returned lists are positionally paired (use
+    ``pair_senders_receivers=True``): the receiver list repeats the single
+    sink once per sender.  ``receiver=None`` picks a sink deterministically
+    from ``seed``; ``fanin=None`` uses every other host as a sender, otherwise
+    ``fanin`` senders are drawn (seed-deterministically) without replacement.
+    """
+    hosts = topology.hosts
+    if len(hosts) < 2:
+        raise WorkloadError("need at least two hosts for incast traffic")
+    rng = np.random.default_rng(seed)
+    if receiver is None:
+        receiver = str(rng.choice(hosts))
+    elif receiver not in hosts:
+        raise WorkloadError(f"incast receiver {receiver!r} is not a host")
+    candidates = [h for h in hosts if h != receiver]
+    if fanin is None:
+        senders = candidates
+    else:
+        if not 1 <= fanin <= len(candidates):
+            raise WorkloadError(
+                f"incast fan-in must be in [1, {len(candidates)}], got {fanin}")
+        senders = [str(h) for h in rng.choice(candidates, size=fanin, replace=False)]
+    return senders, [receiver] * len(senders)
+
+
+def permutation_pairs(topology: Topology, seed: int = 0) -> Tuple[List[str], List[str]]:
+    """Random derangement pairing: every host sends to exactly one other host.
+
+    A seed-deterministic permutation of the hosts with fixed points repaired
+    by swapping, so no host ever sends to itself and every host receives from
+    exactly one sender (use ``pair_senders_receivers=True``).
+    """
+    hosts = topology.hosts
+    if len(hosts) < 2:
+        raise WorkloadError("need at least two hosts for permutation traffic")
+    rng = np.random.default_rng(seed)
+    perm = [int(i) for i in rng.permutation(len(hosts))]
+    for i in range(len(perm)):
+        if perm[i] == i:
+            j = (i + 1) % len(perm)
+            perm[i], perm[j] = perm[j], perm[i]
+    return list(hosts), [hosts[p] for p in perm]
+
+
 def generate_workload(
     topology: Topology,
     distribution: EmpiricalCDF,
@@ -105,13 +164,19 @@ def generate_workload(
     ----------
     load:
         Target offered load as a fraction of the senders' access capacity
-        (0 < load <= 1.2; the paper sweeps 0.1–0.9).
+        (0 < load <= 1.5; the paper sweeps 0.1–0.9, and moderate
+        overload points up to 1.5 are accepted for stress scenarios).
     pair_senders_receivers:
         When True, sender ``i`` only talks to receiver ``i`` (the Abilene
         four-pair setup); otherwise destinations are drawn uniformly from the
         receiver set (the fat-tree setup).
     max_flows:
         Optional safety cap on the number of generated flows.
+    start_after:
+        Warm-up delay in milliseconds: the first flow of every sender arrives
+        after this time, giving the routing protocol time to converge before
+        traffic is measured.  Arrivals then span
+        ``[start_after, start_after + duration)``.
     """
     if not 0.0 < load <= 1.5:
         raise WorkloadError(f"load must be in (0, 1.5], got {load}")

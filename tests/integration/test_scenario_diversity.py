@@ -1,0 +1,213 @@
+"""Integration tests for the scenario-diversity subsystem.
+
+Covers the LinkEvent schedule contract (multi-failure and fail→recover
+sequences through the grid runner, serial == parallel), the incast and
+permutation traffic patterns, the new registry scenarios, and the
+``_fig9_10`` config-override regression.
+"""
+
+import math
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.failure_recovery import run_multi_failure, run_recovery_sweep
+from repro.experiments.registry import SCENARIOS, run_scenario
+from repro.experiments.runner import (
+    LinkEvent,
+    RunContext,
+    ScenarioSpec,
+    TopologySpec,
+    run_grid,
+)
+
+TINY = ExperimentConfig(workload_duration=4.0, run_duration=24.0, loads=(0.6,),
+                        websearch_scale=0.05)
+
+WAN = TopologySpec("zoo", name="nsfnet", hosts_per_switch=1, capacity=100.0)
+
+
+def _summaries(results):
+    return [(result.name, sorted(result.summary.items())) for result in results]
+
+
+def wan_spec(**overrides):
+    base = dict(name="wan-events", system="contra", topology=WAN, config=TINY,
+                policy="wan", workload="cache", load=0.5, seed=1,
+                respect_compiled_probe_period=True)
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+class TestLinkEventSchedules:
+    def test_multi_failure_and_recovery_schedule_runs(self):
+        spec = wan_spec(events=(LinkEvent(4.0, "WA", "IL", "fail"),
+                                LinkEvent(8.0, "NY", "NJ", "fail"),
+                                LinkEvent(14.0, "WA", "IL", "recover")))
+        result = RunContext().run(spec)
+        assert result.summary["flows"] > 0
+
+    def test_plain_tuples_accepted_as_events(self):
+        as_tuples = wan_spec(events=((4.0, "WA", "IL", "fail"),
+                                     (14.0, "WA", "IL", "recover")))
+        as_objects = wan_spec(events=(LinkEvent(4.0, "WA", "IL", "fail"),
+                                      LinkEvent(14.0, "WA", "IL", "recover")))
+        first = RunContext().run(as_tuples)
+        second = RunContext().run(as_objects)
+        assert sorted(first.summary.items()) == sorted(second.summary.items())
+
+    def test_unknown_action_rejected(self):
+        spec = wan_spec(events=(LinkEvent(4.0, "WA", "IL", "explode"),))
+        with pytest.raises(ExperimentError, match="explode"):
+            RunContext().run(spec)
+
+    def test_unknown_link_rejected(self):
+        spec = wan_spec(events=(LinkEvent(4.0, "WA", "Narnia", "fail"),))
+        with pytest.raises(ExperimentError, match="Narnia"):
+            RunContext().run(spec)
+
+    def test_legacy_failed_link_folds_into_schedule(self):
+        legacy = wan_spec(failed_link=("WA", "IL"), failure_time=4.0)
+        schedule = wan_spec(events=(LinkEvent(4.0, "WA", "IL", "fail"),))
+        assert sorted(RunContext().run(legacy).summary.items()) == \
+            sorted(RunContext().run(schedule).summary.items())
+
+    def test_fail_recover_grid_serial_matches_parallel(self):
+        # Network.recover_link scheduling must be honored identically in
+        # worker processes: a fail -> recover schedule is the sensitive case.
+        specs = [wan_spec(name=f"ev:{system}", system=system,
+                          events=(LinkEvent(4.0, "WA", "IL", "fail"),
+                                  LinkEvent(10.0, "WA", "IL", "recover")))
+                 for system in ("contra", "shortest-path")]
+        serial = run_grid(specs, processes=1)
+        parallel = run_grid(specs, processes=2)
+        assert _summaries(serial) == _summaries(parallel)
+
+
+class TestTrafficPatternScenarios:
+    def _pattern_specs(self, traffic, **extra):
+        return [
+            ScenarioSpec(name=f"{traffic}:{system}", system=system,
+                         topology=TopologySpec("fattree", k=4, capacity=100.0),
+                         config=TINY, workload="cache", load=0.6, seed=2,
+                         traffic=traffic, stop_after_completion=True, **extra)
+            for system in ("ecmp", "contra")
+        ]
+
+    def test_incast_serial_matches_parallel(self):
+        specs = self._pattern_specs("incast", incast_fanin=6)
+        assert _summaries(run_grid(specs, processes=1)) == \
+            _summaries(run_grid(specs, processes=2))
+
+    def test_permutation_runs_and_is_deterministic(self):
+        specs = self._pattern_specs("permutation")
+        first = run_grid(specs, processes=1)
+        second = run_grid(specs, processes=2)
+        assert _summaries(first) == _summaries(second)
+        assert all(result.summary["flows"] > 0 for result in first)
+
+    def test_explicit_senders_conflict_with_pattern_traffic(self):
+        # incast/permutation compute their own pairing; silently ignoring
+        # explicit sender/receiver lists would hide a spec mistake.
+        base = self._pattern_specs("incast", incast_fanin=4)[0]
+        conflicted = ScenarioSpec(**{**base.__dict__,
+                                     "senders": ("h0_0_0",), "receivers": ("h3_1_0",)})
+        with pytest.raises(ExperimentError, match="pairing"):
+            RunContext().run(conflicted)
+
+    def test_incast_knobs_require_incast_traffic(self):
+        # incast_fanin on a "flows" spec means the user forgot traffic=
+        # "incast"; silently running uniform traffic would measure the wrong
+        # scenario.
+        base = self._pattern_specs("flows")[0]
+        for traffic in ("flows", "streams"):
+            forgot = ScenarioSpec(**{**base.__dict__, "traffic": traffic,
+                                     "incast_fanin": 8})
+            with pytest.raises(ExperimentError, match="incast"):
+                RunContext().run(forgot)
+
+    def test_incast_load_is_receiver_scoped(self):
+        # Doubling the fan-in must not double the offered traffic: the load
+        # target is the receiver's access link, shared across senders.
+        context = RunContext()
+        small, big = (self._pattern_specs("incast", incast_fanin=f)[0] for f in (4, 8))
+        topology = context.topology(small.topology)
+        small_packets = sum(f.size_packets for f in context._flows(small, topology))
+        big_packets = sum(f.size_packets for f in context._flows(big, topology))
+        assert 0.5 < small_packets / big_packets < 2.0
+
+    def test_workload_scale_knob_changes_flow_sizes(self):
+        context = RunContext()
+        base = self._pattern_specs("flows")[0]
+        scaled = ScenarioSpec(**{**base.__dict__, "workload_scale": 1.0})
+        topology = context.topology(base.topology)
+        default_total = sum(f.size_packets for f in context._flows(base, topology))
+        scaled_total = sum(f.size_packets for f in context._flows(scaled, topology))
+        # TINY uses cache_scale=0.25, so scale 1.0 flows are markedly larger.
+        assert scaled_total > default_total
+
+
+class TestRecoverySweepScenario:
+    def test_dip_at_failure_and_recovery_above_95_percent(self):
+        results = run_recovery_sweep(TINY, fail_time=6.0, recover_time=14.0,
+                                     run_duration=22.0)
+        assert set(results) == {"contra", "hula"}
+        for system, outcome in results.items():
+            assert outcome.baseline_rate > 0, system
+            # The failure is visible: some bin after fail_time dips.
+            assert not math.isnan(outcome.dip_delay), system
+            # ...and throughput returns to >= 95% of baseline after recovery.
+            assert outcome.recovery_ratio >= 0.95, (system, outcome.recovery_ratio)
+
+    def test_late_recovery_still_measures_the_final_bin(self):
+        # When recover_time + settling leaves only the (possibly truncated)
+        # final bin, the analysis must use it rather than report rate 0.
+        from repro.experiments.failure_recovery import _analyse_sweep
+        series = [(float(t), 10.0) for t in range(5)]
+        outcome = _analyse_sweep("s", series, fail_time=2.0, recover_time=3.0)
+        assert outcome.post_recovery_rate == 10.0
+
+    def test_sweep_serial_matches_parallel(self):
+        serial = run_recovery_sweep(TINY, fail_time=6.0, recover_time=14.0,
+                                    run_duration=22.0, processes=1)
+        parallel = run_recovery_sweep(TINY, fail_time=6.0, recover_time=14.0,
+                                      run_duration=22.0, processes=2)
+        for system in serial:
+            assert serial[system].throughput == parallel[system].throughput
+
+
+class TestMultiFailureScenario:
+    def test_contra_outperforms_static_routing_under_failures(self):
+        results = {r.system: r for r in run_multi_failure(TINY)}
+        assert set(results) == {"shortest-path", "contra"}
+        static, contra = results["shortest-path"], results["contra"]
+        # Static shortest paths keep feeding the failed links; Contra routes
+        # around both failures in turn.
+        assert contra.summary["completed_flows"] >= static.summary["completed_flows"]
+        assert contra.summary["drops"] <= static.summary["drops"]
+
+    def test_multi_failure_serial_matches_parallel(self):
+        serial = run_multi_failure(TINY, processes=1)
+        parallel = run_multi_failure(TINY, processes=2)
+        assert _summaries(serial) == _summaries(parallel)
+
+
+class TestRegistryScenarios:
+    def test_new_scenarios_registered(self):
+        assert {"incast", "multi-failure", "recovery-sweep"} <= set(SCENARIOS)
+
+    def test_recovery_sweep_scenario_end_to_end(self):
+        outcome = run_scenario("recovery-sweep", TINY)
+        assert "recovery_ratio" in outcome.text
+        for system, payload in outcome.payload.items():
+            assert payload["recovery_ratio"] >= 0.95, system
+
+    def test_fig9_10_respects_config_sizes(self):
+        # Regression: _fig9_10 ignored its ExperimentConfig, so run-grid
+        # overrides never reached the scalability sweep.
+        config = ExperimentConfig(scalability_fattree_sizes=(20,),
+                                  scalability_random_sizes=())
+        outcome = run_scenario("fig9-10", config)
+        assert {point["size"] for point in outcome.payload} == {20}
+        assert {point["family"] for point in outcome.payload} == {"fattree"}

@@ -106,3 +106,29 @@ class TestCli:
     def test_experiment_unknown_name_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
+
+    def test_leafspine_shape_flags_reach_the_generator(self):
+        # Regression: the CLI used to hardcode hosts_per_leaf=2 and force a
+        # square leaves == spines == k fabric.
+        from repro.cli import _build_topology
+        args = build_parser().parse_args(
+            ["compile", "P2", "--topology", "leafspine",
+             "--leaves", "3", "--spines", "2", "--hosts-per-leaf", "1"])
+        topo = _build_topology(args)
+        assert len(topo.switches_with_role("leaf")) == 3
+        assert len(topo.switches_with_role("spine")) == 2
+        assert len(topo.hosts) == 3
+
+    def test_leafspine_defaults_remain_square_k(self):
+        from repro.cli import _build_topology
+        args = build_parser().parse_args(
+            ["compile", "P2", "--topology", "leafspine", "--k", "2"])
+        topo = _build_topology(args)
+        assert len(topo.switches_with_role("leaf")) == 2
+        assert len(topo.switches_with_role("spine")) == 2
+        assert len(topo.hosts) == 4
+
+    def test_new_scenarios_accepted_by_run_grid_parser(self):
+        for scenario in ("incast", "multi-failure", "recovery-sweep"):
+            args = build_parser().parse_args(["run-grid", scenario])
+            assert args.name == scenario

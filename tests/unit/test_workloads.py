@@ -13,6 +13,8 @@ from repro.workloads import (
     cache_distribution,
     distribution_by_name,
     generate_workload,
+    incast_pairs,
+    permutation_pairs,
     random_pairs,
     split_senders_receivers,
     uniform_distribution,
@@ -172,3 +174,86 @@ class TestGenerateWorkload:
         assert all(f.size_packets >= 1 for f in spec.flows)
         assert all(f.src_host in spec.senders for f in spec.flows)
         assert all(f.dst_host in spec.receivers for f in spec.flows)
+
+
+class TestTrafficPatternPairs:
+    def test_incast_all_senders_target_one_receiver(self):
+        topo = fattree(4)
+        senders, receivers = incast_pairs(topo, seed=3)
+        assert len(set(receivers)) == 1
+        sink = receivers[0]
+        assert sink not in senders
+        assert len(senders) == len(topo.hosts) - 1
+
+    def test_incast_fanin_limits_senders(self):
+        topo = fattree(4)
+        senders, receivers = incast_pairs(topo, fanin=4, seed=3)
+        assert len(senders) == 4 and len(receivers) == 4
+        assert len(set(senders)) == 4
+
+    def test_incast_explicit_receiver(self):
+        topo = leafspine(2, 2, hosts_per_leaf=2)
+        senders, receivers = incast_pairs(topo, receiver="h1_0")
+        assert set(receivers) == {"h1_0"}
+        assert "h1_0" not in senders
+
+    def test_incast_deterministic_given_seed(self):
+        topo = fattree(4)
+        assert incast_pairs(topo, fanin=5, seed=7) == incast_pairs(topo, fanin=5, seed=7)
+        assert incast_pairs(topo, fanin=5, seed=7) != incast_pairs(topo, fanin=5, seed=8)
+
+    def test_incast_rejects_bad_arguments(self):
+        topo = leafspine(2, 2, hosts_per_leaf=1)
+        with pytest.raises(WorkloadError):
+            incast_pairs(topo, receiver="not-a-host")
+        with pytest.raises(WorkloadError):
+            incast_pairs(topo, fanin=0)
+        with pytest.raises(WorkloadError):
+            incast_pairs(topo, fanin=len(topo.hosts))  # only hosts-1 candidates
+
+    @given(st.integers(min_value=0, max_value=25))
+    @settings(max_examples=25, deadline=None)
+    def test_permutation_is_a_derangement(self, seed):
+        topo = fattree(4)
+        senders, receivers = permutation_pairs(topo, seed=seed)
+        assert senders == topo.hosts
+        assert sorted(receivers) == sorted(topo.hosts)     # a permutation...
+        assert all(s != r for s, r in zip(senders, receivers))  # ...with no fixed point
+
+    def test_permutation_deterministic_given_seed(self):
+        topo = leafspine(2, 2, hosts_per_leaf=2)
+        assert permutation_pairs(topo, seed=4) == permutation_pairs(topo, seed=4)
+
+
+class TestLoadContractRegression:
+    """The docstring/validation mismatch fixed by the scenario-diversity PR."""
+
+    def test_docstring_matches_validated_bound(self):
+        doc = generate_workload.__doc__
+        assert "load <= 1.5" in doc
+        assert "1.2" not in doc
+
+    def test_start_after_documented(self):
+        assert "start_after" in generate_workload.__doc__
+
+    def test_bound_is_inclusive_at_1_5(self):
+        topo = leafspine(2, 2, hosts_per_leaf=1)
+        spec = generate_workload(topo, uniform_distribution(), load=1.5, duration=5.0)
+        assert spec.target_load == 1.5
+
+    def test_start_after_delays_first_arrival(self):
+        topo = leafspine(2, 2, hosts_per_leaf=2)
+        spec = generate_workload(topo, uniform_distribution(), load=0.8,
+                                 duration=10.0, start_after=3.0, seed=1)
+        assert spec.flows and min(f.start_time for f in spec.flows) >= 3.0
+        assert max(f.start_time for f in spec.flows) < 13.0
+
+
+class TestUniformByName:
+    def test_uniform_distribution_by_name(self):
+        dist = distribution_by_name("uniform")
+        assert dist.name == "uniform"
+        assert dist.quantile(1.0) == 20
+
+    def test_uniform_scale_stretches_tail(self):
+        assert distribution_by_name("uniform", 2.0).quantile(1.0) == 40
