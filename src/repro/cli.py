@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional
 
@@ -25,6 +26,7 @@ from repro.core.parser import parse_policy
 from repro.core.policies import ALL_POLICIES
 from repro.experiments.config import config_from_env, default_config, full_config, quick_config
 from repro.experiments.registry import run_scenario, scenario_names
+from repro.simulator.flow import TRANSPORT_MODES
 from repro.topology import (
     abilene,
     builtin_topologies,
@@ -112,6 +114,15 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_run_grid(args: argparse.Namespace) -> int:
     config = _resolve_config(args.preset)
+    if getattr(args, "transport", None) is not None:
+        if args.name == "transport-sensitivity":
+            # That scenario grids every transport mode by design; silently
+            # ignoring the override would contradict what the user asked for.
+            raise SystemExit(
+                "--transport has no effect on 'transport-sensitivity' (the "
+                "scenario sweeps every transport mode); run another scenario "
+                "to use a single mode")
+        config = replace(config, transport=args.transport)
     if args.json is not None and not Path(args.json).parent.is_dir():
         # Fail before the experiment runs, not after minutes of simulation.
         raise SystemExit(f"--json: directory {Path(args.json).parent} does not exist")
@@ -173,6 +184,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_grid.add_argument("--processes", type=int, default=None,
                           help="worker processes (default: $CONTRA_PROCS or serial; "
                                "0 = one per core)")
+    run_grid.add_argument("--transport", choices=TRANSPORT_MODES, default=None,
+                          help="host transport mode override: fixed (full window "
+                               "at flow start, the default), slowstart (slow start "
+                               "+ AIMD + fast retransmit) or paced (slowstart + "
+                               "per-RTT pacing)")
     run_grid.add_argument("--json", metavar="PATH", default=None,
                           help="also dump the scenario results as JSON to PATH")
     run_grid.set_defaults(func=_cmd_run_grid)

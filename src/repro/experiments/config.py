@@ -35,6 +35,12 @@ class ExperimentConfig:
     buffer_packets: int = 500                 # paper: 1000 MSS; scaled regime uses 500
     host_window: int = 16
     host_rto: float = 5.0
+    #: Host sender behaviour: "fixed" (full window from the first segment,
+    #: the historical default), "slowstart" (slow start + AIMD + fast
+    #: retransmit) or "paced" (slowstart plus per-RTT packet pacing).  See
+    #: repro.simulator.flow.TRANSPORT_MODES; ScenarioSpec.transport overrides
+    #: this per grid point.
+    transport: str = "fixed"
     util_window: float = 0.5
 
     # Protocol parameters (paper §6.3).

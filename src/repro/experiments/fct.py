@@ -38,6 +38,7 @@ __all__ = [
     "run_abilene_fct",
     "run_queue_cdf",
     "run_incast",
+    "run_transport_sensitivity",
 ]
 
 
@@ -223,6 +224,47 @@ def run_incast(
             stop_after_completion=True,
         )
         for fanin in fanins
+        for system in systems
+    ]
+    return run_grid(specs, processes)
+
+
+def run_transport_sensitivity(
+    config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("ecmp", "contra"),
+    transports: Sequence[str] = ("fixed", "slowstart", "paced"),
+    loads: Optional[Sequence[float]] = None,
+    workload: str = "web_search",
+    processes: Optional[int] = None,
+) -> List[RunResult]:
+    """Transport mode × load on the asymmetric fat-tree (Figure 13 setting).
+
+    The Figure 13 tail comparison (Contra vs ECMP p99 under an asymmetric
+    failure) sits on top of the host transport: a fixed-window sender blasts
+    a full window at flow start, which both inflates tail queues and masks
+    how much of the gap is transport artefact vs routing.  This grid reruns
+    the comparison under every transport mode so the sensitivity of the tail
+    (and of the goodput/retransmit split) to the sender model is quantified
+    rather than assumed.
+    """
+    config = config or default_config()
+    loads = tuple(loads) if loads is not None else config.loads
+    specs = [
+        ScenarioSpec(
+            name=f"transport:{transport}:{workload}:{load}:{system}",
+            system=system,
+            topology=fattree_spec(config),
+            config=config,
+            policy="datacenter",
+            workload=workload,
+            load=load,
+            seed=config.seed,
+            transport=transport,
+            fail_agg_core_link=True,
+            stop_after_completion=True,
+        )
+        for transport in transports
+        for load in loads
         for system in systems
     ]
     return run_grid(specs, processes)

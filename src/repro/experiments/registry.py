@@ -10,7 +10,7 @@ the library always run the same code path.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.experiments import report
@@ -25,7 +25,13 @@ from repro.experiments.failure_recovery import (
     run_multi_failure,
     run_recovery_sweep,
 )
-from repro.experiments.fct import run_abilene_fct, run_fattree_fct, run_incast, run_queue_cdf
+from repro.experiments.fct import (
+    run_abilene_fct,
+    run_fattree_fct,
+    run_incast,
+    run_queue_cdf,
+    run_transport_sensitivity,
+)
 from repro.experiments.overhead import run_overhead_experiment
 from repro.experiments.scalability import run_scalability_sweep
 
@@ -53,6 +59,15 @@ def _fig11(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcom
     points = run_fattree_fct(config, processes=processes)
     return ScenarioOutcome("fig11",
                            report.format_fct(points, "Figure 11: symmetric fat-tree FCT"),
+                           [asdict(p) for p in points])
+
+
+def _fig11_k8(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
+    """The Figure 11 sweep on a k=8 fat-tree (80 switches, 128 hosts; slow)."""
+    points = run_fattree_fct(replace(config, fattree_k=8), processes=processes)
+    return ScenarioOutcome("fig11-k8",
+                           report.format_fct(points,
+                                             "Figure 11 at k=8: symmetric fat-tree FCT"),
                            [asdict(p) for p in points])
 
 
@@ -145,10 +160,19 @@ def _recovery_sweep(config: ExperimentConfig, processes: Optional[int]) -> Scena
                            payload)
 
 
+def _transport_sensitivity(config: ExperimentConfig,
+                           processes: Optional[int]) -> ScenarioOutcome:
+    results = run_transport_sensitivity(config, processes=processes)
+    return ScenarioOutcome("transport-sensitivity",
+                           report.format_transport(results),
+                           [asdict(r) for r in results])
+
+
 #: Scenario name -> runner; each entry executes through the grid runner.
 SCENARIOS: Dict[str, Callable[[ExperimentConfig, Optional[int]], ScenarioOutcome]] = {
     "fig9-10": _fig9_10,
     "fig11": _fig11,
+    "fig11-k8": _fig11_k8,
     "fig12": _fig12,
     "fig13": _fig13,
     "fig14": _fig14,
@@ -158,6 +182,7 @@ SCENARIOS: Dict[str, Callable[[ExperimentConfig, Optional[int]], ScenarioOutcome
     "incast": _incast,
     "multi-failure": _multi_failure,
     "recovery-sweep": _recovery_sweep,
+    "transport-sensitivity": _transport_sensitivity,
 }
 
 

@@ -19,6 +19,7 @@ __all__ = [
     "format_grid",
     "format_overhead",
     "format_ablation",
+    "format_transport",
 ]
 
 
@@ -112,6 +113,37 @@ def format_grid(results, title: str = "Grid results") -> str:
                      int(summary.get("drops", 0))))
     return format_table(
         ("scenario", "system", "load", "avg_fct_ms", "p99_fct_ms", "completed", "drops"),
+        rows, title=title)
+
+
+def format_transport(results,
+                     title: str = "Transport sensitivity: mode x load "
+                                  "(asymmetric fat-tree, Figure 13 setting)") -> str:
+    """Rows over transport-sensitivity :class:`RunResult`\\ s.
+
+    The transport mode is recovered from the spec name
+    (``transport:<mode>:<workload>:<load>:<system>``); ``goodput_ratio`` is
+    goodput over raw delivered bytes (1.0 when no duplicates were delivered).
+    """
+    rows = []
+    for r in results:
+        summary = r.summary
+        parts = r.name.split(":")
+        transport = parts[1] if len(parts) > 1 else "?"
+        delivered = summary.get("delivered_bytes", 0.0)
+        goodput_ratio = summary.get("goodput_bytes", 0.0) / delivered \
+            if delivered else float("nan")
+        rows.append((transport, r.system, f"{round(r.load * 100)}%",
+                     summary.get("avg_fct_ms", float("nan")),
+                     summary.get("p99_fct_ms", float("nan")),
+                     int(summary.get("retransmissions", 0)),
+                     int(summary.get("fast_retransmits", 0)),
+                     goodput_ratio,
+                     f"{int(summary.get('completed_flows', 0))}/"
+                     f"{int(summary.get('flows', 0))}"))
+    return format_table(
+        ("transport", "system", "load", "avg_fct_ms", "p99_fct_ms", "retx",
+         "fast_retx", "goodput_ratio", "completed"),
         rows, title=title)
 
 

@@ -181,6 +181,7 @@ def run_simulation(
         host_rto=config.host_rto,
         util_window=config.util_window,
         stats=StatsCollector(record_paths=record_paths),
+        transport=config.transport,
     )
     network.schedule_flows(flows)
     if failed_link is not None:
@@ -335,6 +336,11 @@ class ScenarioSpec:
     workload: str = "web_search"
     load: float = 0.0
     seed: int = 1
+
+    #: Host transport mode override ("fixed" | "slowstart" | "paced"); None
+    #: uses the config's transport.  Pure data, so transport grids are plain
+    #: spec grids with the full determinism contract.
+    transport: Optional[str] = None
 
     # Traffic shape: Poisson flow arrivals ("flows"), N-to-1 fan-in flow
     # arrivals ("incast"), derangement-paired flow arrivals ("permutation"),
@@ -530,6 +536,7 @@ class RunContext:
             host_rto=config.host_rto,
             util_window=config.util_window,
             stats=StatsCollector(record_paths=spec.record_paths),
+            transport=spec.transport if spec.transport is not None else config.transport,
         )
 
         run_duration = spec.run_duration if spec.run_duration is not None \

@@ -2,7 +2,7 @@
 
 from repro.simulator.accumulators import ReservoirSampler, StreamingHistogram
 from repro.simulator.engine import Event, PeriodicEvent, Simulator
-from repro.simulator.flow import Flow, ReceiverState, SenderState
+from repro.simulator.flow import TRANSPORT_MODES, Flow, ReceiverState, SenderState
 from repro.simulator.host import Host
 from repro.simulator.link import SimLink
 from repro.simulator.network import Network, RoutingSystem
@@ -21,6 +21,7 @@ __all__ = [
     "Event",
     "PeriodicEvent",
     "Flow",
+    "TRANSPORT_MODES",
     "SenderState",
     "ReceiverState",
     "Host",

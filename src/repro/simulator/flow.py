@@ -1,10 +1,32 @@
 """Flow abstraction and endpoint transport state.
 
 Flows are unidirectional transfers of ``size_packets`` full-size segments.
-Senders run a simple window-based, ACK-clocked transport with go-back-N
+Senders run a window-based, ACK-clocked transport with go-back-N
 retransmission on timeout — deliberately simpler than TCP, but sufficient to
 make flow completion times respond to queueing, loss and path choice, which is
 what the FCT comparisons in the paper measure.
+
+Three transport modes exist (:data:`TRANSPORT_MODES`), selected per host via
+the ``transport`` knob on :class:`~repro.simulator.network.Network`:
+
+* ``"fixed"`` — the historical behaviour: the full configured window is
+  available from the first segment (hosts blast a window-sized burst at flow
+  start).  This is the default and is byte-identical to the pre-cwnd sender.
+* ``"slowstart"`` — a congestion window (``cwnd``) governs the send window:
+  slow start (cwnd += 1 per newly ACKed segment) up to ``ssthresh``, then
+  AIMD congestion avoidance (cwnd += 1/cwnd per ACKed segment, i.e. roughly
+  one segment per RTT).  The configured window acts as the receive-window
+  cap (TCP's min(cwnd, rwnd)): cwnd never exceeds it, so the cwnd modes are
+  never burstier than ``"fixed"``.  A retransmission timeout halves ``ssthresh`` and
+  collapses ``cwnd`` to 1; three duplicate ACKs trigger a fast retransmit of
+  the first unacknowledged segment and halve ``cwnd`` (the receiver caches
+  out-of-order segments, so a single resend advances the cumulative ACK past
+  the cached tail).
+* ``"paced"`` — ``"slowstart"`` plus packet pacing: instead of bursting the
+  whole window, the host spaces transmissions by ``srtt / cwnd`` (one
+  RTT-smoothed window per round trip).  RTT is estimated with one outstanding
+  timing sample at a time and Karn's rule (retransmitted segments are never
+  sampled).
 """
 
 from __future__ import annotations
@@ -13,9 +35,20 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional, Set
 
-__all__ = ["Flow", "SenderState", "ReceiverState"]
+__all__ = ["Flow", "SenderState", "ReceiverState", "TRANSPORT_MODES"]
 
 _flow_ids = itertools.count()
+
+#: Selectable sender behaviours (see the module docstring).
+TRANSPORT_MODES = ("fixed", "slowstart", "paced")
+
+#: Slow-start threshold before any loss has been observed (effectively
+#: unbounded — standard TCP semantics).
+_INITIAL_SSTHRESH = float(1 << 30)
+
+#: RTT estimate used for pacing before the first sample arrives (ms).  One
+#: probe period's worth of transit is a reasonable prior in the scaled regime.
+_INITIAL_RTT_ESTIMATE = 0.5
 
 
 @dataclass
@@ -34,36 +67,146 @@ class Flow:
 
 
 class SenderState:
-    """Transport state kept by the sending host for one flow."""
+    """Transport state kept by the sending host for one flow.
 
-    def __init__(self, flow: Flow, window: int, rto: float):
+    The sender is a small state machine over ``(cumulative_ack, next_seq,
+    cwnd, ssthresh, dup_acks)``; the host drives it from ACK arrivals and RTO
+    timer checks.  In ``"fixed"`` mode ``cwnd`` is pinned to the configured
+    window and never moves, which preserves the historical behaviour exactly.
+    """
+
+    def __init__(self, flow: Flow, window: int, rto: float, transport: str = "fixed"):
+        if transport not in TRANSPORT_MODES:
+            raise ValueError(
+                f"unknown transport mode {transport!r}; available: {TRANSPORT_MODES}")
         self.flow = flow
         self.window = max(1, window)
         self.rto = rto
+        self.transport = transport
+        self.cwnd = float(self.window) if transport == "fixed" else 1.0
+        self.ssthresh = _INITIAL_SSTHRESH
+        self.max_cwnd = self.cwnd
         self.cumulative_ack = 0          # all seqs < this are acknowledged
         self.next_seq = 0                # next new seq to transmit
         self.last_progress_time = flow.start_time
         self.completed = False
         self.retransmissions = 0
+        self.fast_retransmits = 0
+        self.dup_acks = 0
+        self.pacing_armed = False        # a pacing tick is already scheduled
+        # RTT estimation: one outstanding (seq, send time) sample, Karn's rule.
+        self.srtt: Optional[float] = None
+        self._rtt_seq: Optional[int] = None
+        self._rtt_sent = 0.0
+        self._highest_sent = -1          # highest seq ever transmitted
 
     @property
     def in_flight(self) -> int:
         return self.next_seq - self.cumulative_ack
 
+    @property
+    def effective_window(self) -> int:
+        """Segments the sender may keep in flight right now."""
+        if self.transport == "fixed":
+            return self.window
+        return max(1, int(self.cwnd))
+
     def can_send(self) -> bool:
         return (not self.completed
                 and self.next_seq < self.flow.size_packets
-                and self.in_flight < self.window)
+                and self.in_flight < self.effective_window)
+
+    # ------------------------------------------------------------------- RTT
+
+    def note_sent(self, seq: int, now: float) -> None:
+        """Record the send time of a new segment for RTT estimation.
+
+        Karn's rule: a seq at or below the highest ever transmitted is a
+        go-back-N resend — its ACK may belong to the original copy, so it
+        must never arm an RTT sample.
+        """
+        if seq <= self._highest_sent:
+            return
+        self._highest_sent = seq
+        if self._rtt_seq is None:
+            self._rtt_seq = seq
+            self._rtt_sent = now
+
+    def _sample_rtt(self, ack_seq: int, now: float) -> None:
+        if self._rtt_seq is not None and ack_seq > self._rtt_seq:
+            sample = now - self._rtt_sent
+            self.srtt = sample if self.srtt is None \
+                else 0.875 * self.srtt + 0.125 * sample
+            self._rtt_seq = None
+
+    def pacing_interval(self) -> float:
+        """Gap between paced transmissions: one cwnd spread over one SRTT."""
+        rtt = self.srtt if self.srtt is not None else _INITIAL_RTT_ESTIMATE
+        return max(rtt, 1e-6) / max(self.cwnd, 1.0)
+
+    # ------------------------------------------------------------------ ACKs
 
     def on_ack(self, ack_seq: int, now: float) -> bool:
         """Process a cumulative ACK; returns True if it made progress."""
         if ack_seq > self.cumulative_ack:
+            newly_acked = ack_seq - self.cumulative_ack
+            self._sample_rtt(ack_seq, now)
             self.cumulative_ack = ack_seq
+            # After an RTO rewind a single resend can fill the hole and the
+            # receiver's cached out-of-order tail jumps the ACK past
+            # next_seq; without this clamp in_flight goes negative and the
+            # sender would re-send already-ACKed segments.
+            if self.next_seq < ack_seq:
+                self.next_seq = ack_seq
             self.last_progress_time = now
+            self.dup_acks = 0
+            if self.transport != "fixed":
+                self._grow_cwnd(newly_acked)
             if self.cumulative_ack >= self.flow.size_packets:
                 self.completed = True
             return True
         return False
+
+    def _grow_cwnd(self, newly_acked: int) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += newly_acked                 # slow start: +1 per ACKed segment
+        else:
+            self.cwnd += newly_acked / self.cwnd     # AIMD: ~+1 segment per RTT
+        # The configured window is the receive-window stand-in: like TCP's
+        # min(cwnd, rwnd), the congestion window never exceeds it, so the
+        # cwnd modes are never burstier than "fixed" and the receiver's
+        # out-of-order cache stays O(window).
+        if self.cwnd > self.window:
+            self.cwnd = float(self.window)
+        if self.cwnd > self.max_cwnd:
+            self.max_cwnd = self.cwnd
+
+    def on_duplicate_ack(self, ack_seq: int) -> bool:
+        """Count a duplicate ACK; True when fast retransmit should fire.
+
+        Only an ACK for exactly the current cumulative ACK is a duplicate —
+        a stale reordered ACK (``ack_seq < cumulative_ack``, e.g. overtaken
+        on a longer path after a reroute) signals nothing about loss and
+        must not count toward the trigger.  ``"fixed"`` mode never
+        fast-retransmits (preserving the historical go-back-N-on-timeout-only
+        behaviour); the cwnd modes trigger on the third duplicate, halving
+        ``cwnd`` and asking the host to resend the first unacknowledged
+        segment.
+        """
+        if (self.completed or self.in_flight == 0 or self.transport == "fixed"
+                or ack_seq != self.cumulative_ack):
+            return False
+        self.dup_acks += 1
+        if self.dup_acks == 3:
+            self.ssthresh = max(2.0, self.cwnd / 2.0)
+            self.cwnd = self.ssthresh
+            self.fast_retransmits += 1
+            self.retransmissions += 1
+            self._rtt_seq = None                     # Karn: never sample a resend
+            return True
+        return False
+
+    # -------------------------------------------------------------- timeouts
 
     def timeout_expired(self, now: float) -> bool:
         return (not self.completed
@@ -71,14 +214,26 @@ class SenderState:
                 and now - self.last_progress_time >= self.rto)
 
     def retransmit(self, now: float) -> None:
-        """Go-back-N: rewind transmission to the first unacknowledged segment."""
+        """Go-back-N on RTO: rewind transmission to the first unacked segment."""
+        if self.transport != "fixed":
+            self.ssthresh = max(2.0, self.cwnd / 2.0)
+            self.cwnd = 1.0
+        self.dup_acks = 0
+        self._rtt_seq = None
         self.next_seq = self.cumulative_ack
         self.last_progress_time = now
         self.retransmissions += 1
 
 
 class ReceiverState:
-    """Transport state kept by the receiving host for one flow."""
+    """Transport state kept by the receiving host for one flow.
+
+    Out-of-order segments are cached in :attr:`received` so a single
+    (fast-)retransmission can advance the cumulative ACK past the cached
+    tail.  Seqs below the cumulative ACK are pruned as the ACK advances, so
+    the set holds only the out-of-order window — O(window) memory, not
+    O(flow size).
+    """
 
     def __init__(self, flow_id: int, src_host: str, size_packets: Optional[int] = None):
         self.flow_id = flow_id
@@ -88,11 +243,17 @@ class ReceiverState:
         self._cumulative = 0
         self.completed = False
 
+    def has_seen(self, seq: int) -> bool:
+        """Whether this seq was already delivered (a duplicate delivery)."""
+        return seq < self._cumulative or seq in self.received
+
     def on_data(self, seq: int, total_size: int) -> int:
         """Record a data segment; returns the new cumulative ACK value."""
         self.size_packets = total_size
-        self.received.add(seq)
+        if seq >= self._cumulative:
+            self.received.add(seq)
         while self._cumulative in self.received:
+            self.received.remove(self._cumulative)
             self._cumulative += 1
         if self.size_packets is not None and self._cumulative >= self.size_packets:
             self.completed = True

@@ -1,8 +1,17 @@
 """End hosts: traffic sources and sinks.
 
-Hosts implement the window-based transport described in
-:mod:`repro.simulator.flow` plus an optional constant-rate (UDP-like) mode
+Hosts implement the cwnd-based transport described in
+:mod:`repro.simulator.flow` — a ``transport`` mode of ``"fixed"`` (full
+window from the first segment, the historical default), ``"slowstart"``
+(slow start + AIMD congestion avoidance + fast retransmit on triple
+duplicate ACKs) or ``"paced"`` (slow start plus packet pacing at one cwnd
+per smoothed RTT) — plus an optional constant-rate (UDP-like) stream mode
 used by the failure-recovery experiment (Figure 14).
+
+Delivery accounting distinguishes *goodput* from raw throughput: the host
+asks the receiver state whether a data segment is a first-time delivery
+before recording it, so go-back-N duplicates never inflate the goodput
+series (see :meth:`repro.simulator.stats.StatsCollector.record_delivery`).
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ class Host:
         name: str,
         window: int = 12,
         rto: float = 5.0,
+        transport: str = "fixed",
     ):
         self.network = network
         self.sim = network.sim
@@ -35,6 +45,7 @@ class Host:
         self.name = name
         self.window = window
         self.rto = rto
+        self.transport = transport
 
         self.uplink = None  # type: ignore[assignment]  # set by Network wiring
         self._senders: Dict[int, SenderState] = {}
@@ -48,7 +59,7 @@ class Host:
         """Begin transmitting a flow (called by the network at the arrival time)."""
         if flow.src_host != self.name:
             raise SimulationError(f"flow {flow.flow_id} does not originate at host {self.name}")
-        sender = SenderState(flow, self.window, self.rto)
+        sender = SenderState(flow, self.window, self.rto, transport=self.transport)
         self._senders[flow.flow_id] = sender
         self.stats.register_flow(flow.flow_id, flow.src_host, flow.dst_host,
                                  flow.size_packets, self.sim.now)
@@ -56,22 +67,47 @@ class Host:
         self.sim.call_later(self.rto, self._check_timeout, flow.flow_id)
 
     def _pump(self, flow_id: int) -> None:
-        """Send as many new segments as the window allows."""
+        """Send as many new segments as the (congestion) window allows."""
         sender = self._senders.get(flow_id)
         if sender is None or sender.completed:
             return
+        if sender.transport == "paced":
+            self._pump_paced(flow_id, sender)
+            return
         while sender.can_send():
-            packet = Packet(
-                kind=PacketKind.DATA,
-                src_host=self.name,
-                dst_host=sender.flow.dst_host,
-                flow_id=flow_id,
-                seq=sender.next_seq,
-                size_bytes=DATA_PACKET_BYTES,
-                created_at=self.sim.now,
-            )
-            sender.next_seq += 1
-            self._transmit(packet)
+            self._send_segment(sender)
+
+    def _pump_paced(self, flow_id: int, sender: SenderState) -> None:
+        """Send one segment and arm a pacing tick for the next."""
+        if sender.pacing_armed or not sender.can_send():
+            return
+        self._send_segment(sender)
+        sender.pacing_armed = True
+        self.sim.call_later(sender.pacing_interval(), self._pace_tick, flow_id)
+
+    def _pace_tick(self, flow_id: int) -> None:
+        sender = self._senders.get(flow_id)
+        if sender is None or sender.completed:
+            return
+        sender.pacing_armed = False
+        self._pump_paced(flow_id, sender)
+
+    def _send_segment(self, sender: SenderState) -> None:
+        seq = sender.next_seq
+        sender.note_sent(seq, self.sim.now)
+        sender.next_seq = seq + 1
+        self._transmit(self._data_packet(sender, seq))
+
+    def _data_packet(self, sender: SenderState, seq: int) -> Packet:
+        return Packet(
+            kind=PacketKind.DATA,
+            src_host=self.name,
+            dst_host=sender.flow.dst_host,
+            flow_id=sender.flow.flow_id,
+            seq=seq,
+            size_bytes=DATA_PACKET_BYTES,
+            created_at=self.sim.now,
+        )
 
     def _transmit(self, packet: Packet) -> None:
         packet.src_switch = self.network.attachment_switch(packet.src_host)
@@ -82,7 +118,10 @@ class Host:
 
     def _check_timeout(self, flow_id: int) -> None:
         sender = self._senders.get(flow_id)
-        if sender is None or sender.completed:
+        if sender is None:
+            return
+        if sender.completed:
+            self._finish_sender(flow_id, sender)
             return
         if sender.timeout_expired(self.sim.now):
             sender.retransmit(self.sim.now)
@@ -90,13 +129,20 @@ class Host:
             self._pump(flow_id)
         self.sim.call_later(self.rto, self._check_timeout, flow_id)
 
+    def _finish_sender(self, flow_id: int, sender: SenderState) -> None:
+        """Report transport summaries and drop sender state on completion."""
+        self.stats.record_transport(flow_id, final_cwnd=sender.cwnd,
+                                    max_cwnd=sender.max_cwnd)
+        del self._senders[flow_id]
+
     # --------------------------------------------------------------- streams
 
     def start_constant_stream(self, dst_host: str, rate: float, duration: float) -> int:
         """Send full-size packets to ``dst_host`` at ``rate`` packets/ms for ``duration`` ms.
 
-        Used by the failure-recovery experiment; no ACKs or retransmissions.
-        Returns a stream id.
+        Used by the failure-recovery experiment; no ACKs or retransmissions
+        (so every delivered packet counts as goodput).  Returns a stream id;
+        the stream's state is dropped when it ends.
         """
         if rate <= 0:
             raise SimulationError("stream rate must be positive")
@@ -113,7 +159,10 @@ class Host:
 
     def _stream_tick(self, stream_id: int) -> None:
         stream = self._streams.get(stream_id)
-        if stream is None or self.sim.now > stream["end"]:
+        if stream is None:
+            return
+        if self.sim.now > stream["end"]:
+            del self._streams[stream_id]
             return
         packet = Packet(
             kind=PacketKind.DATA,
@@ -139,13 +188,17 @@ class Host:
         # Probes terminating at a host are silently ignored (should not happen).
 
     def _receive_data(self, packet: Packet) -> None:
-        self.stats.record_delivery(packet, self.sim.now)
         if packet.flow_id < 0:
-            return  # unreliable stream: no ACKs, no completion tracking
+            # Unreliable stream: no retransmissions, every delivery is unique;
+            # no ACKs, no completion tracking.
+            self.stats.record_delivery(packet, self.sim.now)
+            return
         receiver = self._receivers.get(packet.flow_id)
         if receiver is None:
             receiver = ReceiverState(packet.flow_id, packet.src_host)
             self._receivers[packet.flow_id] = receiver
+        self.stats.record_delivery(packet, self.sim.now,
+                                   duplicate=receiver.has_seen(packet.seq))
         total = self.stats.flows[packet.flow_id].size_packets if packet.flow_id in self.stats.flows \
             else packet.seq + 1
         ack_seq = receiver.on_data(packet.seq, total)
@@ -166,7 +219,17 @@ class Host:
         sender = self._senders.get(packet.flow_id)
         if sender is None:
             return
-        if sender.on_ack(packet.ack_seq, self.sim.now) and not sender.completed:
+        if sender.on_ack(packet.ack_seq, self.sim.now):
+            if sender.completed:
+                self._finish_sender(packet.flow_id, sender)
+            else:
+                self._pump(packet.flow_id)
+        elif sender.on_duplicate_ack(packet.ack_seq):
+            # Fast retransmit: resend only the first unacked segment — the
+            # receiver caches out-of-order segments, so one resend advances
+            # the cumulative ACK past the cached tail.
+            self.stats.record_retransmission(packet.flow_id, fast=True)
+            self._transmit(self._data_packet(sender, sender.cumulative_ack))
             self._pump(packet.flow_id)
 
     def __repr__(self) -> str:

@@ -13,7 +13,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SimulationError
 from repro.simulator.engine import Simulator
-from repro.simulator.flow import Flow
+from repro.simulator.flow import TRANSPORT_MODES, Flow
 from repro.simulator.host import Host
 from repro.simulator.link import SimLink
 from repro.simulator.packet import Packet
@@ -61,13 +61,18 @@ class Network:
         host_rto: float = 5.0,
         util_window: float = 1.0,
         stats: Optional[StatsCollector] = None,
+        transport: str = "fixed",
     ):
+        if transport not in TRANSPORT_MODES:
+            raise SimulationError(
+                f"unknown transport mode {transport!r}; available: {TRANSPORT_MODES}")
         self.topology = topology
         self.routing_system = routing_system
         self.sim = Simulator()
         self.stats = stats if stats is not None else StatsCollector()
         self.buffer_packets = buffer_packets
         self.util_window = util_window
+        self.transport = transport
 
         self.hosts: Dict[str, Host] = {}
         self.switches: Dict[str, SwitchNode] = {}
@@ -85,7 +90,8 @@ class Network:
     def _build(self) -> None:
         for host_name in self.topology.hosts:
             self.hosts[host_name] = Host(self, host_name,
-                                         window=self._host_window, rto=self._host_rto)
+                                         window=self._host_window, rto=self._host_rto,
+                                         transport=self.transport)
         for switch_name in self.topology.switches:
             logic = self.routing_system.create_switch_logic(switch_name)
             self.switches[switch_name] = SwitchNode(self, switch_name, logic)

@@ -5,10 +5,17 @@ of a run.  It gathers exactly the quantities the paper's evaluation reports:
 
 * flow completion times (Figures 11, 12, 15),
 * queue-length samples and their CDF (Figure 13),
-* delivered throughput over time (Figure 14),
+* delivered goodput over time (Figure 14),
 * traffic volume split into data / ACK / probe / tag-overhead bytes
   (Figure 16), and
 * loop and drop counters (§6.5).
+
+Delivery accounting separates **goodput** from raw throughput: hosts flag
+retransmitted duplicate segments (first-time delivery is deduplicated by
+(flow, seq) at the receiver), so ``goodput_bytes`` and the Figure 14 series
+count each segment once while ``delivered_bytes`` keeps the raw total
+including duplicates.  The invariant ``goodput_bytes <= delivered_bytes``
+holds in every run; the two only differ under loss.
 """
 
 from __future__ import annotations
@@ -40,6 +47,13 @@ class FlowRecord:
     start_time: float
     completion_time: Optional[float] = None
     retransmissions: int = 0
+    #: Retransmissions triggered by triple duplicate ACKs (subset of
+    #: :attr:`retransmissions`; always 0 under the "fixed" transport).
+    fast_retransmits: int = 0
+    #: Congestion-window summary reported by the sender at completion
+    #: (0.0 while in flight or when the run ended first).
+    final_cwnd: float = 0.0
+    max_cwnd: float = 0.0
 
     @property
     def completed(self) -> bool:
@@ -67,7 +81,14 @@ class StatsCollector:
         #: percentiles.
         self.queue_histogram = StreamingHistogram()
         self.throughput_bin_ms = throughput_bin_ms
-        self._delivered_bytes_per_bin: Dict[int, float] = defaultdict(float)
+        #: Per-bin *goodput* (first-time deliveries only; duplicates excluded).
+        self._goodput_bytes_per_bin: Dict[int, float] = defaultdict(float)
+
+        # Delivery accounting: raw payload bytes reaching their destination
+        # (including go-back-N duplicates) vs goodput (unique seqs only).
+        self.delivered_bytes = 0.0
+        self.goodput_bytes = 0.0
+        self.duplicate_deliveries = 0
 
         #: When enabled, switches append their name to every data packet and
         #: delivered paths are sampled here (used for the §6.5 loop fraction
@@ -118,10 +139,19 @@ class StatsCollector:
         self._completion_target = target
         self._completion_callback = callback
 
-    def record_retransmission(self, flow_id: int) -> None:
+    def record_retransmission(self, flow_id: int, fast: bool = False) -> None:
         record = self.flows.get(flow_id)
         if record is not None:
             record.retransmissions += 1
+            if fast:
+                record.fast_retransmits += 1
+
+    def record_transport(self, flow_id: int, final_cwnd: float, max_cwnd: float) -> None:
+        """Store the sender's congestion-window summary (called at completion)."""
+        record = self.flows.get(flow_id)
+        if record is not None:
+            record.final_cwnd = final_cwnd
+            record.max_cwnd = max_cwnd
 
     def completed_flows(self) -> List[FlowRecord]:
         return [f for f in self.flows.values() if f.completed]
@@ -172,10 +202,23 @@ class StatsCollector:
 
     # ------------------------------------------------------------- throughput
 
-    def record_delivery(self, packet: "Packet", time: float) -> None:
-        """Called by hosts when a data packet reaches its destination."""
-        bin_index = int(time / self.throughput_bin_ms)
-        self._delivered_bytes_per_bin[bin_index] += packet.size_bytes
+    def record_delivery(self, packet: "Packet", time: float,
+                        duplicate: bool = False) -> None:
+        """Called by hosts when a data packet reaches its destination.
+
+        ``duplicate`` marks a retransmitted segment the receiver had already
+        seen: it counts towards raw :attr:`delivered_bytes` but never towards
+        :attr:`goodput_bytes` or the Figure 14 series — delivered work must
+        not be inflated by go-back-N duplicates in exactly the loss-heavy
+        regimes the comparisons care about.
+        """
+        self.delivered_bytes += packet.size_bytes
+        if duplicate:
+            self.duplicate_deliveries += 1
+        else:
+            self.goodput_bytes += packet.size_bytes
+            bin_index = int(time / self.throughput_bin_ms)
+            self._goodput_bytes_per_bin[bin_index] += packet.size_bytes
         if self.record_paths and packet.path_trace is not None:
             self._path_reservoir.offer((packet.flow_id, tuple(packet.path_trace)))
 
@@ -185,18 +228,20 @@ class StatsCollector:
         return self._path_reservoir.samples
 
     def throughput_series(self) -> List[Tuple[float, float]]:
-        """(time ms, delivered Gbps-equivalent) samples, one per bin.
+        """(time ms, delivered Gbps-equivalent) *goodput* samples, one per bin.
 
-        The "Gbps" unit assumes the scaled convention of 1 full packet per ms
-        per capacity unit; the absolute numbers are not meaningful, the shape
-        around a failure event is (Figure 14).
+        Bins count first-time deliveries only — a retransmitted duplicate is
+        not delivered work, and counting it would inflate the baselines in
+        lossy regimes.  The "Gbps" unit assumes the scaled convention of 1
+        full packet per ms per capacity unit; the absolute numbers are not
+        meaningful, the shape around a failure event is (Figure 14).
         """
-        if not self._delivered_bytes_per_bin:
+        if not self._goodput_bytes_per_bin:
             return []
         series = []
-        for bin_index in sorted(self._delivered_bytes_per_bin):
+        for bin_index in sorted(self._goodput_bytes_per_bin):
             time = bin_index * self.throughput_bin_ms
-            bytes_delivered = self._delivered_bytes_per_bin[bin_index]
+            bytes_delivered = self._goodput_bytes_per_bin[bin_index]
             # bytes per ms -> packets per ms (one packet == one capacity unit).
             rate = bytes_delivered / 1500.0 / self.throughput_bin_ms
             series.append((time, rate))
@@ -221,6 +266,30 @@ class StatsCollector:
 
     # ------------------------------------------------------------------ report
 
+    def total_retransmissions(self) -> int:
+        return sum(f.retransmissions for f in self.flows.values())
+
+    def total_fast_retransmits(self) -> int:
+        return sum(f.fast_retransmits for f in self.flows.values())
+
+    def mean_max_cwnd(self) -> float:
+        """Mean peak congestion window over flows that reported one (else 0)."""
+        peaks = [f.max_cwnd for f in self.flows.values() if f.max_cwnd > 0]
+        return float(np.mean(peaks)) if peaks else 0.0
+
+    def per_flow_transport(self) -> List[Dict[str, float]]:
+        """Per-flow retransmit/cwnd summaries, in flow-id order."""
+        return [
+            {
+                "flow_id": f.flow_id,
+                "retransmissions": f.retransmissions,
+                "fast_retransmits": f.fast_retransmits,
+                "final_cwnd": f.final_cwnd,
+                "max_cwnd": f.max_cwnd,
+            }
+            for f in sorted(self.flows.values(), key=lambda f: f.flow_id)
+        ]
+
     def summary(self) -> Dict[str, float]:
         """A flat summary dictionary used by the experiment drivers."""
         return {
@@ -230,6 +299,12 @@ class StatsCollector:
             "avg_fct_ms": self.average_fct(),
             "p99_fct_ms": self.percentile_fct(99.0),
             "drops": self.drops,
+            "goodput_bytes": self.goodput_bytes,
+            "delivered_bytes": self.delivered_bytes,
+            "duplicate_deliveries": self.duplicate_deliveries,
+            "retransmissions": self.total_retransmissions(),
+            "fast_retransmits": self.total_fast_retransmits(),
+            "mean_max_cwnd": self.mean_max_cwnd(),
             "data_bytes": self.data_bytes,
             "ack_bytes": self.ack_bytes,
             "probe_bytes": self.probe_bytes,

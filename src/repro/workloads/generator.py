@@ -166,6 +166,13 @@ def generate_workload(
         Target offered load as a fraction of the senders' access capacity
         (0 < load <= 1.5; the paper sweeps 0.1–0.9, and moderate
         overload points up to 1.5 are accepted for stress scenarios).
+        The load describes the *arrival process* only — how the offered
+        work actually drains depends on the hosts' transport mode
+        (``fixed`` blasts a full window at flow start; ``slowstart`` /
+        ``paced`` ramp via the congestion window — see
+        :mod:`repro.simulator.flow`), and delivered work is reported as
+        goodput (unique segments), never inflated by retransmitted
+        duplicates.
     pair_senders_receivers:
         When True, sender ``i`` only talks to receiver ``i`` (the Abilene
         four-pair setup); otherwise destinations are drawn uniformly from the
