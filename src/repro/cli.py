@@ -8,7 +8,11 @@
   same table the corresponding benchmark regenerates;
 * ``contra run-grid`` — run a named experiment scenario through the parallel
   grid runner (``--processes`` fans the (system × load × seed) points across
-  cores) and optionally dump the results as JSON;
+  cores) and optionally dump the results as JSON; ``--results-dir`` makes the
+  run resumable (completed points are skipped on restart) and ``--shard i/n``
+  runs a deterministic 1/n slice for scale-out across machines or CI jobs;
+* ``contra merge-results`` — union shard artifacts from a results directory
+  into the exact report an unsharded run would have printed;
 * ``contra policies`` — list the built-in Figure 3 policies.
 """
 
@@ -24,8 +28,15 @@ from typing import List, Optional
 from repro.core.compiler import compile_policy
 from repro.core.parser import parse_policy
 from repro.core.policies import ALL_POLICIES
+from repro.exceptions import ExperimentError
 from repro.experiments.config import config_from_env, default_config, full_config, quick_config
-from repro.experiments.registry import run_scenario, scenario_names
+from repro.experiments.registry import (
+    merge_scenario,
+    run_scenario,
+    run_scenario_shard,
+    scenario_names,
+)
+from repro.experiments.results import ResultsStore, parse_shard
 from repro.simulator.flow import TRANSPORT_MODES
 from repro.topology import (
     abilene,
@@ -112,7 +123,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run_grid(args: argparse.Namespace) -> int:
+def _grid_config(args: argparse.Namespace):
+    """Resolve the preset + --transport override shared by run-grid/merge."""
     config = _resolve_config(args.preset)
     if getattr(args, "transport", None) is not None:
         if args.name == "transport-sensitivity":
@@ -123,23 +135,103 @@ def _cmd_run_grid(args: argparse.Namespace) -> int:
                 "scenario sweeps every transport mode); run another scenario "
                 "to use a single mode")
         config = replace(config, transport=args.transport)
+    return config
+
+
+def _write_outcome_json(path_text: str, outcome, preset: str,
+                        processes: Optional[int]) -> None:
+    path = Path(path_text)
+    path.write_text(json.dumps({
+        "scenario": outcome.name,
+        "preset": preset,
+        "processes": processes,
+        "results": outcome.payload,
+    }, indent=2, sort_keys=True, default=str) + "\n")
+    print(f"wrote {path}")
+
+
+def _cmd_run_grid(args: argparse.Namespace) -> int:
+    config = _grid_config(args)
+    shard = None
+    if args.shard is not None:
+        try:
+            shard = parse_shard(args.shard)
+        except ExperimentError as error:
+            raise SystemExit(str(error))
+        if args.results_dir is None:
+            raise SystemExit("--shard requires --results-dir (the shards "
+                             "rendezvous through the results store)")
+    # Non-grid scenarios with --results-dir/--shard are rejected by the
+    # registry itself (one authoritative check + message), surfaced below
+    # as SystemExit before any simulation runs.
     if args.json is not None and not Path(args.json).parent.is_dir():
         # Fail before the experiment runs, not after minutes of simulation.
         raise SystemExit(f"--json: directory {Path(args.json).parent} does not exist")
+
+    if shard is not None:
+        # Every --shard run (including 0/1) takes the shard path, so each
+        # writes its meta record and merge-results accounting stays uniform.
+        if args.json is not None:
+            raise SystemExit(
+                "--json needs the full grid; run `contra merge-results` once "
+                "every shard has completed")
+        try:
+            outcome = run_scenario_shard(args.name, config, args.results_dir,
+                                         shard_index=shard[0], shard_count=shard[1],
+                                         processes=args.processes)
+        except (KeyError, ExperimentError) as error:
+            raise SystemExit(str(error))
+        print(outcome.text)
+        return 0
+
     try:
-        outcome = run_scenario(args.name, config, processes=args.processes)
-    except KeyError as error:
+        outcome = run_scenario(args.name, config, processes=args.processes,
+                               results_dir=args.results_dir)
+    except (KeyError, ExperimentError) as error:
         raise SystemExit(str(error))
     print(outcome.text)
     if args.json is not None:
-        path = Path(args.json)
+        _write_outcome_json(args.json, outcome, args.preset, args.processes)
+    return 0
+
+
+def _cmd_merge_results(args: argparse.Namespace) -> int:
+    config = _grid_config(args)
+    if not Path(args.results_dir).is_dir():
+        raise SystemExit(f"--results-dir: {args.results_dir} does not exist")
+    if args.json is not None and not Path(args.json).parent.is_dir():
+        raise SystemExit(f"--json: directory {Path(args.json).parent} does not exist")
+    try:
+        outcome = merge_scenario(args.name, config, args.results_dir)
+    except (KeyError, ExperimentError) as error:
+        raise SystemExit(str(error))
+    print(outcome.text)
+    if args.json is not None:
+        # "processes": None matches an unsharded default run, so the merged
+        # JSON file is byte-identical to `contra run-grid <name> --json`.
+        _write_outcome_json(args.json, outcome, args.preset, None)
+    if args.bench_artifact is not None:
+        # wall_s sums the per-point wall-clock carried by every store record:
+        # each record is one actual execution, so interrupted runs, resumes
+        # and re-executed points are all accounted exactly — no reliance on
+        # shard metas, which an interrupted run never writes.
+        store = ResultsStore(args.results_dir)
+        wall_s = store.total_wall_s()
+        if wall_s <= 0:
+            raise SystemExit(
+                f"--bench-artifact: no per-point wall-clock records under "
+                f"{args.results_dir}; the store was not produced by a "
+                f"sharded/resumable run of this tree")
+        shard_files = len(list(store.directory.glob("results-*.jsonl")))
+        path = Path(args.bench_artifact)
         path.write_text(json.dumps({
-            "scenario": outcome.name,
+            "benchmark": f"{args.name}_sharded",
+            "wall_s": round(wall_s, 4),
             "preset": args.preset,
-            "processes": args.processes,
-            "results": outcome.payload,
-        }, indent=2, sort_keys=True, default=str) + "\n")
-        print(f"wrote {path}")
+            "shards": shard_files,
+        }, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path} (total compute {wall_s:.1f} s "
+              f"across {shard_files} shard file(s))")
     return 0
 
 
@@ -191,7 +283,35 @@ def build_parser() -> argparse.ArgumentParser:
                                "per-RTT pacing)")
     run_grid.add_argument("--json", metavar="PATH", default=None,
                           help="also dump the scenario results as JSON to PATH")
+    run_grid.add_argument("--results-dir", metavar="DIR", default=None,
+                          help="persistent results store: completed grid points "
+                               "are recorded as JSONL keyed by spec hash, and "
+                               "reruns skip points already in the store")
+    run_grid.add_argument("--shard", metavar="I/N", default=None,
+                          help="run only a deterministic 1/N slice of the grid "
+                               "(round-robin by spec index) into --results-dir; "
+                               "union the shards with `contra merge-results`")
     run_grid.set_defaults(func=_cmd_run_grid)
+
+    merge = sub.add_parser(
+        "merge-results",
+        help="union shard artifacts into the exact unsharded scenario report")
+    merge.add_argument("name", choices=tuple(scenario_names()))
+    merge.add_argument("--results-dir", metavar="DIR", required=True,
+                       help="the results store directory every shard ran against")
+    merge.add_argument("--preset", choices=("quick", "default", "full", "env"),
+                       default="quick",
+                       help="must match the preset the shards ran with (the "
+                            "grid is rebuilt from it to key the lookups)")
+    merge.add_argument("--transport", choices=TRANSPORT_MODES, default=None,
+                       help="must match the --transport the shards ran with")
+    merge.add_argument("--json", metavar="PATH", default=None,
+                       help="also dump the merged results as JSON to PATH")
+    merge.add_argument("--bench-artifact", metavar="PATH", default=None,
+                       help="write a BENCH-style wall-clock artifact summing "
+                            "the per-point compute records in the store "
+                            "(for bench_diff tracking)")
+    merge.set_defaults(func=_cmd_merge_results)
     return parser
 
 

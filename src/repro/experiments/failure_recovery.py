@@ -15,7 +15,15 @@ Three drivers live here, all executing through the grid runner:
   cannot exercise);
 * :func:`run_multi_failure` — a sequence of distant link failures on a
   Topology-Zoo WAN (the Crux-style scenario), comparing how static and
-  probe-driven systems degrade.
+  probe-driven systems degrade;
+* :func:`run_recovery_curve` — a grid whose swept axis is the ``events``
+  schedule itself: one fail→recover cycle per outage duration, yielding the
+  recovery-time vs dip-depth curve.
+
+Each driver is split into a pure spec builder (``*_specs``) and a result
+projection (``analyse_*``), so the registry can execute the same grid
+through any :class:`~repro.experiments.runner.ExecutionBackend` — including
+the sharded, resumable store-backed one — and finish it from stored results.
 """
 
 from __future__ import annotations
@@ -37,12 +45,33 @@ from repro.experiments.runner import (
 
 __all__ = [
     "RecoveryResult",
+    "failure_recovery_specs",
+    "analyse_recovery_results",
     "run_failure_recovery",
     "RecoverySweepResult",
+    "recovery_sweep_specs",
+    "analyse_recovery_sweep_results",
     "run_recovery_sweep",
     "MULTI_FAILURE_DEFAULT_EVENTS",
+    "multi_failure_specs",
     "run_multi_failure",
+    "RecoveryCurvePoint",
+    "RECOVERY_CURVE_DEFAULT_OUTAGES",
+    "recovery_curve_specs",
+    "analyse_recovery_curve",
+    "run_recovery_curve",
 ]
+
+#: Figure 14 schedule defaults, shared by the driver and the registry's
+#: result-side analysis (the analysis must use the same instants the spec
+#: builder injected).
+FIG14_FAILURE_TIME = 30.0
+FIG14_RUN_DURATION = 60.0
+
+#: Recovery-sweep schedule defaults (same sharing rationale).
+SWEEP_FAIL_TIME = 10.0
+SWEEP_RECOVER_TIME = 25.0
+SWEEP_RUN_DURATION = 40.0
 
 
 @dataclass
@@ -68,17 +97,15 @@ class RecoveryResult:
         return not np.isnan(self.recovery_delay)
 
 
-def run_failure_recovery(
-    config: Optional[ExperimentConfig] = None,
+def failure_recovery_specs(
+    config: ExperimentConfig,
     systems: Sequence[str] = ("contra", "hula"),
     stream_rate: Optional[float] = None,
-    failure_time: float = 30.0,
-    run_duration: float = 60.0,
+    failure_time: float = FIG14_FAILURE_TIME,
+    run_duration: float = FIG14_RUN_DURATION,
     streams_per_pair: int = 1,
-    processes: Optional[int] = None,
-) -> Dict[str, RecoveryResult]:
-    """Run the Figure 14 experiment for each requested system."""
-    config = config or default_config()
+) -> List[ScenarioSpec]:
+    """The Figure 14 grid (one permanent fat-tree failure per system) as specs."""
     if stream_rate is None:
         # The paper sends a stable 4.25 Gbps over a fabric with ample headroom:
         # rerouting around the failed link must be able to restore the full
@@ -89,8 +116,7 @@ def run_failure_recovery(
         # on the remaining core links of the 4:1 scaled fabric even if every
         # affected flowlet lands on the same one.
         stream_rate = 0.06 * config.host_capacity
-
-    specs = [
+    return [
         ScenarioSpec(
             name=f"recovery:{system}",
             system=system,
@@ -109,12 +135,34 @@ def run_failure_recovery(
         )
         for system in systems
     ]
-    results: Dict[str, RecoveryResult] = {}
-    for result in run_grid(specs, processes):
-        results[result.system] = _analyse(
+
+
+def analyse_recovery_results(results: Sequence[RunResult],
+                             failure_time: float = FIG14_FAILURE_TIME,
+                             ) -> Dict[str, RecoveryResult]:
+    """Project Figure 14 grid results onto per-system recovery timelines."""
+    analysed: Dict[str, RecoveryResult] = {}
+    for result in results:
+        analysed[result.system] = _analyse(
             result.system, result.throughput or [], failure_time,
             int(result.summary["failure_detections"]))
-    return results
+    return analysed
+
+
+def run_failure_recovery(
+    config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("contra", "hula"),
+    stream_rate: Optional[float] = None,
+    failure_time: float = FIG14_FAILURE_TIME,
+    run_duration: float = FIG14_RUN_DURATION,
+    streams_per_pair: int = 1,
+    processes: Optional[int] = None,
+) -> Dict[str, RecoveryResult]:
+    """Run the Figure 14 experiment for each requested system."""
+    config = config or default_config()
+    specs = failure_recovery_specs(config, systems, stream_rate, failure_time,
+                                   run_duration, streams_per_pair)
+    return analyse_recovery_results(run_grid(specs, processes), failure_time)
 
 
 def _analyse(system: str, series: List[Tuple[float, float]], failure_time: float,
@@ -184,36 +232,22 @@ def recovery_sweep_topology(config: ExperimentConfig) -> TopologySpec:
                         capacity=config.host_capacity, oversubscription=1.0)
 
 
-def run_recovery_sweep(
-    config: Optional[ExperimentConfig] = None,
+def recovery_sweep_specs(
+    config: ExperimentConfig,
     systems: Sequence[str] = ("contra", "hula"),
-    fail_time: float = 10.0,
-    recover_time: float = 25.0,
-    run_duration: float = 40.0,
+    fail_time: float = SWEEP_FAIL_TIME,
+    recover_time: float = SWEEP_RECOVER_TIME,
+    run_duration: float = SWEEP_RUN_DURATION,
     stream_rate: Optional[float] = None,
     streams_per_pair: int = 4,
     failed_link: Tuple[str, str] = ("spine0", "leaf2"),
-    processes: Optional[int] = None,
-) -> Dict[str, RecoverySweepResult]:
-    """Fail a leaf-spine link mid-run and bring it back: the full cycle.
-
-    Constant-rate streams cross the fabric; the schedule fails
-    ``failed_link`` at ``fail_time`` and recovers it at ``recover_time``.
-    The default failure is a spine *down-link* towards a receiver leaf — a
-    failure **remote** from the sending leaves' path choice, so traffic
-    pinned through that spine blackholes until probe silence exposes it
-    (failing a sender-adjacent uplink would be absorbed instantly by the
-    local ``link_failed`` check and never dip).  Throughput must dip at the
-    failure and return to the pre-failure baseline once probes flow through
-    the recovered link again.
-    """
-    config = config or default_config()
+) -> List[ScenarioSpec]:
+    """The fail→recover cycle grid on the leaf-spine fabric as specs."""
     if not fail_time < recover_time < run_duration:
         raise ValueError("expected fail_time < recover_time < run_duration")
     if stream_rate is None:
         stream_rate = 0.06 * config.host_capacity
-
-    specs = [
+    return [
         ScenarioSpec(
             name=f"recovery-sweep:{system}",
             system=system,
@@ -232,11 +266,49 @@ def run_recovery_sweep(
         )
         for system in systems
     ]
-    results: Dict[str, RecoverySweepResult] = {}
-    for result in run_grid(specs, processes):
-        results[result.system] = _analyse_sweep(
+
+
+def analyse_recovery_sweep_results(results: Sequence[RunResult],
+                                   fail_time: float = SWEEP_FAIL_TIME,
+                                   recover_time: float = SWEEP_RECOVER_TIME,
+                                   ) -> Dict[str, RecoverySweepResult]:
+    """Project fail→recover grid results onto per-system sweep timelines."""
+    analysed: Dict[str, RecoverySweepResult] = {}
+    for result in results:
+        analysed[result.system] = _analyse_sweep(
             result.system, result.throughput or [], fail_time, recover_time)
-    return results
+    return analysed
+
+
+def run_recovery_sweep(
+    config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("contra", "hula"),
+    fail_time: float = SWEEP_FAIL_TIME,
+    recover_time: float = SWEEP_RECOVER_TIME,
+    run_duration: float = SWEEP_RUN_DURATION,
+    stream_rate: Optional[float] = None,
+    streams_per_pair: int = 4,
+    failed_link: Tuple[str, str] = ("spine0", "leaf2"),
+    processes: Optional[int] = None,
+) -> Dict[str, RecoverySweepResult]:
+    """Fail a leaf-spine link mid-run and bring it back: the full cycle.
+
+    Constant-rate streams cross the fabric; the schedule fails
+    ``failed_link`` at ``fail_time`` and recovers it at ``recover_time``.
+    The default failure is a spine *down-link* towards a receiver leaf — a
+    failure **remote** from the sending leaves' path choice, so traffic
+    pinned through that spine blackholes until probe silence exposes it
+    (failing a sender-adjacent uplink would be absorbed instantly by the
+    local ``link_failed`` check and never dip).  Throughput must dip at the
+    failure and return to the pre-failure baseline once probes flow through
+    the recovered link again.
+    """
+    config = config or default_config()
+    specs = recovery_sweep_specs(config, systems, fail_time, recover_time,
+                                 run_duration, stream_rate, streams_per_pair,
+                                 failed_link)
+    return analyse_recovery_sweep_results(run_grid(specs, processes),
+                                          fail_time, recover_time)
 
 
 def _analyse_sweep(system: str, series: List[Tuple[float, float]], fail_time: float,
@@ -282,6 +354,33 @@ def multi_failure_topology(config: ExperimentConfig, name: str = "nsfnet") -> To
                         capacity=config.abilene_capacity)
 
 
+def multi_failure_specs(
+    config: ExperimentConfig,
+    systems: Sequence[str] = ("shortest-path", "contra"),
+    events: Sequence[Tuple[float, str, str, str]] = MULTI_FAILURE_DEFAULT_EVENTS,
+    topology_name: str = "nsfnet",
+    workload: str = "web_search",
+    load: float = 0.6,
+) -> List[ScenarioSpec]:
+    """The WAN multi-failure grid as specs."""
+    schedule = tuple(LinkEvent(*event) for event in events)
+    return [
+        ScenarioSpec(
+            name=f"multi-failure:{system}",
+            system=system,
+            topology=multi_failure_topology(config, topology_name),
+            config=config,
+            policy="wan",
+            workload=workload,
+            load=load,
+            seed=config.seed,
+            events=schedule,
+            respect_compiled_probe_period=True,
+        )
+        for system in systems
+    ]
+
+
 def run_multi_failure(
     config: Optional[ExperimentConfig] = None,
     systems: Sequence[str] = ("shortest-path", "contra"),
@@ -299,20 +398,145 @@ def run_multi_failure(
     and drops for the report table.
     """
     config = config or default_config()
-    schedule = tuple(LinkEvent(*event) for event in events)
-    specs = [
+    specs = multi_failure_specs(config, systems, events, topology_name,
+                                workload, load)
+    return run_grid(specs, processes)
+
+
+# =============================================================================
+# Recovery curve: a grid whose axis is the fail→recover schedule itself
+# =============================================================================
+
+@dataclass
+class RecoveryCurvePoint:
+    """One (system, outage duration) point of the recovery curve."""
+
+    system: str
+    outage_ms: float
+    fail_time: float
+    recover_time: float
+    baseline_rate: float
+    #: Deepest relative throughput loss during the outage window:
+    #: ``(baseline - min_rate) / baseline``; NaN without a baseline.
+    dip_depth: float
+    #: ms after the failure of the first visibly dipped bin (NaN if none).
+    dip_delay: float
+    #: ms after the *recovery* event until throughput first returns to >= 95%
+    #: of the pre-failure baseline; NaN if it never does within the run.
+    recovery_time_ms: float
+
+
+#: Outage durations (ms) the default recovery curve sweeps.  Short outages
+#: probe the detection window (the dip may not fully develop before the link
+#: returns); long ones probe steady-state rerouting and the cost of coming
+#: back.
+RECOVERY_CURVE_DEFAULT_OUTAGES: Tuple[float, ...] = (2.0, 5.0, 10.0)
+
+#: Schedule frame for the curve: every point fails at the same instant and
+#: simulates the same settle-out tail after its recovery.
+CURVE_FAIL_TIME = 10.0
+CURVE_TAIL = 15.0
+
+
+def recovery_curve_specs(
+    config: ExperimentConfig,
+    systems: Sequence[str] = ("contra", "hula"),
+    outages: Sequence[float] = RECOVERY_CURVE_DEFAULT_OUTAGES,
+    fail_time: float = CURVE_FAIL_TIME,
+    stream_rate: Optional[float] = None,
+    streams_per_pair: int = 4,
+    failed_link: Tuple[str, str] = ("spine0", "leaf2"),
+) -> List[ScenarioSpec]:
+    """A grid whose swept axis is the ``events`` schedule, not a scalar.
+
+    Each grid point carries a different fail→recover schedule (same failure
+    instant, different outage duration), which is exactly the ROADMAP's
+    "sweeps that grid over schedules": the declarative ``events`` tuple
+    makes an outage-duration sweep an ordinary spec grid with the full
+    determinism and shardability contracts.
+    """
+    if stream_rate is None:
+        stream_rate = 0.06 * config.host_capacity
+    return [
         ScenarioSpec(
-            name=f"multi-failure:{system}",
+            name=f"recovery-curve:{system}:{outage}ms",
             system=system,
-            topology=multi_failure_topology(config, topology_name),
+            topology=recovery_sweep_topology(config),
             config=config,
-            policy="wan",
-            workload=workload,
-            load=load,
-            seed=config.seed,
-            events=schedule,
-            respect_compiled_probe_period=True,
+            policy="datacenter",
+            workload="",
+            traffic="streams",
+            stream_rate=stream_rate,
+            stream_start=0.5,
+            streams_per_pair=streams_per_pair,
+            events=(LinkEvent(fail_time, failed_link[0], failed_link[1], "fail"),
+                    LinkEvent(fail_time + outage, failed_link[0], failed_link[1],
+                              "recover")),
+            run_duration=fail_time + outage + CURVE_TAIL,
+            collect_throughput=True,
         )
+        for outage in outages
         for system in systems
     ]
-    return run_grid(specs, processes)
+
+
+def analyse_recovery_curve(results: Sequence[RunResult],
+                           fail_time: float = CURVE_FAIL_TIME,
+                           ) -> List[RecoveryCurvePoint]:
+    """Project the schedule grid onto (dip depth, recovery time) points.
+
+    The outage duration is recovered from each spec's own schedule via the
+    result name (``recovery-curve:<system>:<outage>ms``), so the analysis
+    needs no side channel beyond the grid results themselves.
+    """
+    points: List[RecoveryCurvePoint] = []
+    for result in results:
+        outage = float(result.name.rsplit(":", 1)[1].removesuffix("ms"))
+        recover_time = fail_time + outage
+        series = result.throughput or []
+        before = [rate for time, rate in series if 2.0 <= time < fail_time - 1.0]
+        baseline = float(np.mean(before)) if before else 0.0
+        threshold = baseline - max(1.0, 0.05 * baseline)
+
+        dip_delay = float("nan")
+        min_rate = baseline
+        for time, rate in series:
+            if fail_time <= time < recover_time + 1.0:
+                min_rate = min(min_rate, rate)
+                if np.isnan(dip_delay) and rate < threshold:
+                    dip_delay = time - fail_time
+        dip_depth = (baseline - min_rate) / baseline if baseline > 0 else float("nan")
+
+        recovery_time = float("nan")
+        for time, rate in series:
+            if time >= recover_time and rate >= 0.95 * baseline:
+                recovery_time = time - recover_time
+                break
+        points.append(RecoveryCurvePoint(
+            system=result.system,
+            outage_ms=outage,
+            fail_time=fail_time,
+            recover_time=recover_time,
+            baseline_rate=baseline,
+            dip_depth=dip_depth,
+            dip_delay=dip_delay,
+            recovery_time_ms=recovery_time,
+        ))
+    return points
+
+
+def run_recovery_curve(
+    config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("contra", "hula"),
+    outages: Sequence[float] = RECOVERY_CURVE_DEFAULT_OUTAGES,
+    fail_time: float = CURVE_FAIL_TIME,
+    stream_rate: Optional[float] = None,
+    streams_per_pair: int = 4,
+    failed_link: Tuple[str, str] = ("spine0", "leaf2"),
+    processes: Optional[int] = None,
+) -> List[RecoveryCurvePoint]:
+    """The recovery-time vs dip-depth curve over outage durations."""
+    config = config or default_config()
+    specs = recovery_curve_specs(config, systems, outages, fail_time,
+                                 stream_rate, streams_per_pair, failed_link)
+    return analyse_recovery_curve(run_grid(specs, processes), fail_time)

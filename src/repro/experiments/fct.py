@@ -8,10 +8,13 @@
 * :func:`run_abilene_fct` — shortest-path vs Contra(MU) vs SPAIN on Abilene
   with four random sender/receiver pairs (Figure 15).
 
-All three build declarative :class:`~repro.experiments.runner.ScenarioSpec`
-grids and hand them to :func:`~repro.experiments.runner.run_grid`, so a sweep
-parallelizes across cores (``processes=`` / ``$CONTRA_PROCS``) without any
-change to the results.
+All drivers are split into a pure spec builder (``*_specs``) and a result
+projection, glued by ``run_*`` through
+:func:`~repro.experiments.runner.run_grid` — so every sweep parallelizes
+across cores (``processes=`` / ``$CONTRA_PROCS``) and shards/resumes through
+the results store without any change to the results.
+:func:`run_flow_size_sensitivity` additionally sweeps the flow-size
+distribution scale (``workload_scale``) at fixed load.
 """
 
 from __future__ import annotations
@@ -34,11 +37,19 @@ __all__ = [
     "FctPoint",
     "default_failed_link",
     "fattree_spec",
+    "fattree_fct_specs",
+    "abilene_fct_specs",
+    "queue_cdf_specs",
+    "incast_specs",
+    "transport_sensitivity_specs",
+    "flow_size_sensitivity_specs",
+    "to_fct_points",
     "run_fattree_fct",
     "run_abilene_fct",
     "run_queue_cdf",
     "run_incast",
     "run_transport_sensitivity",
+    "run_flow_size_sensitivity",
 ]
 
 
@@ -88,20 +99,17 @@ def abilene_pairs(topology: Topology, pairs: int) -> Tuple[List[str], List[str]]
     return senders, receivers
 
 
-def run_fattree_fct(
-    config: Optional[ExperimentConfig] = None,
+def fattree_fct_specs(
+    config: ExperimentConfig,
     systems: Sequence[str] = ("ecmp", "contra", "hula"),
     workloads: Sequence[str] = ("web_search", "cache"),
     loads: Optional[Sequence[float]] = None,
     asymmetric: bool = False,
-    processes: Optional[int] = None,
-) -> List[FctPoint]:
-    """The Figure 11 (symmetric) / Figure 12 (asymmetric) sweep."""
-    config = config or default_config()
+) -> List[ScenarioSpec]:
+    """The Figure 11 (symmetric) / Figure 12 (asymmetric) grid as specs."""
     loads = tuple(loads) if loads is not None else config.loads
     topology = fattree_spec(config)
-
-    specs = [
+    return [
         ScenarioSpec(
             name=f"fct:{workload}:{load}:{system}",
             system=system,
@@ -118,26 +126,36 @@ def run_fattree_fct(
         for load in loads
         for system in systems
     ]
-    return [_to_point(result) for result in run_grid(specs, processes)]
 
 
-def run_abilene_fct(
+def run_fattree_fct(
     config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("ecmp", "contra", "hula"),
+    workloads: Sequence[str] = ("web_search", "cache"),
+    loads: Optional[Sequence[float]] = None,
+    asymmetric: bool = False,
+    processes: Optional[int] = None,
+) -> List[FctPoint]:
+    """The Figure 11 (symmetric) / Figure 12 (asymmetric) sweep."""
+    config = config or default_config()
+    specs = fattree_fct_specs(config, systems, workloads, loads, asymmetric)
+    return to_fct_points(run_grid(specs, processes))
+
+
+def abilene_fct_specs(
+    config: ExperimentConfig,
     systems: Sequence[str] = ("shortest-path", "contra", "spain"),
     workloads: Sequence[str] = ("web_search", "cache"),
     loads: Optional[Sequence[float]] = None,
     pairs: int = 4,
-    processes: Optional[int] = None,
-) -> List[FctPoint]:
-    """The Figure 15 sweep on the Abilene topology."""
-    config = config or default_config()
+) -> List[ScenarioSpec]:
+    """The Figure 15 grid on the Abilene topology as specs."""
     loads = tuple(loads) if loads is not None else config.loads
     topo_spec = TopologySpec("abilene", capacity=config.abilene_capacity,
                              hosts_per_switch=1)
     senders, receivers = abilene_pairs(
         abilene(capacity=config.abilene_capacity, hosts_per_switch=1), pairs)
-
-    specs = [
+    return [
         ScenarioSpec(
             name=f"abilene:{workload}:{load}:{system}",
             system=system,
@@ -162,20 +180,31 @@ def run_abilene_fct(
         for load in loads
         for system in systems
     ]
-    return [_to_point(result) for result in run_grid(specs, processes)]
 
 
-def run_queue_cdf(
+def run_abilene_fct(
     config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("shortest-path", "contra", "spain"),
+    workloads: Sequence[str] = ("web_search", "cache"),
+    loads: Optional[Sequence[float]] = None,
+    pairs: int = 4,
+    processes: Optional[int] = None,
+) -> List[FctPoint]:
+    """The Figure 15 sweep on the Abilene topology."""
+    config = config or default_config()
+    specs = abilene_fct_specs(config, systems, workloads, loads, pairs)
+    return to_fct_points(run_grid(specs, processes))
+
+
+def queue_cdf_specs(
+    config: ExperimentConfig,
     systems: Sequence[str] = ("ecmp", "contra"),
     load: float = 0.6,
     workload: str = "web_search",
     cdf_points: Sequence[float] = (0.5, 0.75, 0.9, 0.95, 0.99, 1.0),
-    processes: Optional[int] = None,
-) -> Dict[str, Dict[float, float]]:
-    """The Figure 13 queue-length CDF comparison (asymmetric fat-tree, 60% load)."""
-    config = config or default_config()
-    specs = [
+) -> List[ScenarioSpec]:
+    """The Figure 13 queue-length CDF grid as specs."""
+    return [
         ScenarioSpec(
             name=f"queue-cdf:{system}",
             system=system,
@@ -191,7 +220,47 @@ def run_queue_cdf(
         )
         for system in systems
     ]
+
+
+def run_queue_cdf(
+    config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("ecmp", "contra"),
+    load: float = 0.6,
+    workload: str = "web_search",
+    cdf_points: Sequence[float] = (0.5, 0.75, 0.9, 0.95, 0.99, 1.0),
+    processes: Optional[int] = None,
+) -> Dict[str, Dict[float, float]]:
+    """The Figure 13 queue-length CDF comparison (asymmetric fat-tree, 60% load)."""
+    config = config or default_config()
+    specs = queue_cdf_specs(config, systems, load, workload, cdf_points)
     return {result.system: result.queue_cdf for result in run_grid(specs, processes)}
+
+
+def incast_specs(
+    config: ExperimentConfig,
+    systems: Sequence[str] = ("ecmp", "contra", "hula"),
+    fanins: Sequence[int] = (4, 8),
+    load: float = 0.8,
+    workload: str = "cache",
+) -> List[ScenarioSpec]:
+    """The N-to-1 fan-in grid as specs (``load`` is receiver-scoped)."""
+    return [
+        ScenarioSpec(
+            name=f"incast:{fanin}to1:{system}",
+            system=system,
+            topology=fattree_spec(config),
+            config=config,
+            policy="datacenter",
+            workload=workload,
+            load=load,
+            seed=config.seed,
+            traffic="incast",
+            incast_fanin=fanin,
+            stop_after_completion=True,
+        )
+        for fanin in fanins
+        for system in systems
+    ]
 
 
 def run_incast(
@@ -209,9 +278,21 @@ def run_incast(
     more senders converge on one host.
     """
     config = config or default_config()
-    specs = [
+    return run_grid(incast_specs(config, systems, fanins, load, workload), processes)
+
+
+def transport_sensitivity_specs(
+    config: ExperimentConfig,
+    systems: Sequence[str] = ("ecmp", "contra"),
+    transports: Sequence[str] = ("fixed", "slowstart", "paced"),
+    loads: Optional[Sequence[float]] = None,
+    workload: str = "web_search",
+) -> List[ScenarioSpec]:
+    """The transport mode × load grid (asymmetric fat-tree) as specs."""
+    loads = tuple(loads) if loads is not None else config.loads
+    return [
         ScenarioSpec(
-            name=f"incast:{fanin}to1:{system}",
+            name=f"transport:{transport}:{workload}:{load}:{system}",
             system=system,
             topology=fattree_spec(config),
             config=config,
@@ -219,14 +300,14 @@ def run_incast(
             workload=workload,
             load=load,
             seed=config.seed,
-            traffic="incast",
-            incast_fanin=fanin,
+            transport=transport,
+            fail_agg_core_link=True,
             stop_after_completion=True,
         )
-        for fanin in fanins
+        for transport in transports
+        for load in loads
         for system in systems
     ]
-    return run_grid(specs, processes)
 
 
 def run_transport_sensitivity(
@@ -248,10 +329,31 @@ def run_transport_sensitivity(
     rather than assumed.
     """
     config = config or default_config()
-    loads = tuple(loads) if loads is not None else config.loads
-    specs = [
+    specs = transport_sensitivity_specs(config, systems, transports, loads, workload)
+    return run_grid(specs, processes)
+
+
+def flow_size_sensitivity_specs(
+    config: ExperimentConfig,
+    systems: Sequence[str] = ("ecmp", "contra"),
+    scale_factors: Sequence[float] = (0.5, 1.0, 2.0),
+    load: float = 0.6,
+    workload: str = "web_search",
+) -> List[ScenarioSpec]:
+    """The flow-size sensitivity grid: ``workload_scale`` × system as specs.
+
+    Each factor multiplies the config's per-workload distribution scale
+    (``websearch_scale`` / ``cache_scale``), so ``1.0`` reproduces the
+    standard sweep point and the other factors shrink/grow every flow while
+    keeping arrivals and pairings identical — isolating how each system's
+    FCT advantage depends on flow size (short flows barely see flowlet
+    rerouting; long flows live or die by it).
+    """
+    base_scale = {"web_search": config.websearch_scale,
+                  "cache": config.cache_scale}.get(workload, 1.0)
+    return [
         ScenarioSpec(
-            name=f"transport:{transport}:{workload}:{load}:{system}",
+            name=f"flow-size:{factor}x:{system}",
             system=system,
             topology=fattree_spec(config),
             config=config,
@@ -259,15 +361,31 @@ def run_transport_sensitivity(
             workload=workload,
             load=load,
             seed=config.seed,
-            transport=transport,
-            fail_agg_core_link=True,
+            workload_scale=base_scale * factor,
             stop_after_completion=True,
         )
-        for transport in transports
-        for load in loads
+        for factor in scale_factors
         for system in systems
     ]
+
+
+def run_flow_size_sensitivity(
+    config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("ecmp", "contra"),
+    scale_factors: Sequence[float] = (0.5, 1.0, 2.0),
+    load: float = 0.6,
+    workload: str = "web_search",
+    processes: Optional[int] = None,
+) -> List[RunResult]:
+    """Sweep the flow-size distribution scale at fixed load (fat-tree)."""
+    config = config or default_config()
+    specs = flow_size_sensitivity_specs(config, systems, scale_factors, load, workload)
     return run_grid(specs, processes)
+
+
+def to_fct_points(results: Sequence[RunResult]) -> List[FctPoint]:
+    """Project grid results onto the FCT report rows."""
+    return [_to_point(result) for result in results]
 
 
 def _to_point(result: RunResult) -> FctPoint:

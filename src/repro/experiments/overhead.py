@@ -24,9 +24,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.fct import fattree_spec
-from repro.experiments.runner import ScenarioSpec, run_grid
+from repro.experiments.runner import RunResult, ScenarioSpec, run_grid
 
-__all__ = ["OverheadPoint", "run_overhead_experiment", "DEFAULT_CAPACITY_SCALE"]
+__all__ = ["OverheadPoint", "overhead_specs", "to_overhead_points",
+           "run_overhead_experiment", "DEFAULT_CAPACITY_SCALE"]
 
 #: Ratio between the paper's 10 Gbps links (~833 full packets per ms) and the
 #: simulator's default 100 packets/ms hosts — the factor by which the scaled
@@ -54,17 +55,14 @@ class OverheadPoint:
     loop_fraction: float
 
 
-def run_overhead_experiment(
-    config: Optional[ExperimentConfig] = None,
+def overhead_specs(
+    config: ExperimentConfig,
     systems: Sequence[str] = ("ecmp", "hula", "contra"),
     workloads: Sequence[str] = ("web_search", "cache"),
     loads: Sequence[float] = (0.1, 0.6),
-    capacity_scale: float = DEFAULT_CAPACITY_SCALE,
-    processes: Optional[int] = None,
-) -> List[OverheadPoint]:
-    """Measure the Figure 16 traffic overhead table."""
-    config = config or default_config()
-    specs = [
+) -> List[ScenarioSpec]:
+    """The Figure 16 traffic-overhead grid as specs."""
+    return [
         ScenarioSpec(
             name=f"overhead:{workload}:{load}:{system}",
             system=system,
@@ -80,8 +78,26 @@ def run_overhead_experiment(
         for load in loads
         for system in systems
     ]
-    results = run_grid(specs, processes)
 
+
+def run_overhead_experiment(
+    config: Optional[ExperimentConfig] = None,
+    systems: Sequence[str] = ("ecmp", "hula", "contra"),
+    workloads: Sequence[str] = ("web_search", "cache"),
+    loads: Sequence[float] = (0.1, 0.6),
+    capacity_scale: float = DEFAULT_CAPACITY_SCALE,
+    processes: Optional[int] = None,
+) -> List[OverheadPoint]:
+    """Measure the Figure 16 traffic overhead table."""
+    config = config or default_config()
+    results = run_grid(overhead_specs(config, systems, workloads, loads), processes)
+    return to_overhead_points(results, capacity_scale)
+
+
+def to_overhead_points(results: Sequence[RunResult],
+                       capacity_scale: float = DEFAULT_CAPACITY_SCALE,
+                       ) -> List[OverheadPoint]:
+    """Project grid results onto the overhead report rows."""
     points: List[OverheadPoint] = []
     for result in results:
         summary = result.summary

@@ -1,18 +1,32 @@
 """Named experiment scenarios for the grid runner.
 
 The registry maps a scenario name (``fig11``, ``fig13``, ``ablations``, …) to
-a callable that executes the experiment — through the process-pool grid
-runner — and returns a :class:`ScenarioOutcome` with the formatted report and
-a JSON-serializable payload.  ``contra run-grid`` and the benchmark harness
-both resolve experiments through this table, so the CLI, the benchmarks and
-the library always run the same code path.
+its runner.  ``contra run-grid`` and the benchmark harness both resolve
+experiments through this table, so the CLI, the benchmarks and the library
+always run the same code path.
+
+Two kinds of entries exist:
+
+* a :class:`GridScenario` — the declarative form: a pure **spec builder**
+  (``config -> [ScenarioSpec]``) plus a pure **finisher**
+  (``config, [RunResult] -> ScenarioOutcome``).  Because building the grid
+  and reporting over its results are separated from *executing* it, a grid
+  scenario runs through any :class:`~repro.experiments.runner
+  .ExecutionBackend` — including the sharded, resumable store-backed one —
+  and :func:`merge_scenario` can reassemble the exact unsharded report from
+  shard artifacts;
+* a legacy callable ``(config, processes) -> ScenarioOutcome`` for the
+  drivers that are not a single spec grid (compile-scalability jobs, the
+  multi-grid ablations), which therefore cannot shard through the store.
 """
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional
+import time
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Union
 
+from repro.exceptions import ExperimentError
 from repro.experiments import report
 from repro.experiments.ablations import (
     run_flowlet_timeout_ablation,
@@ -21,21 +35,49 @@ from repro.experiments.ablations import (
 )
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.failure_recovery import (
-    run_failure_recovery,
-    run_multi_failure,
-    run_recovery_sweep,
+    analyse_recovery_curve,
+    analyse_recovery_results,
+    analyse_recovery_sweep_results,
+    failure_recovery_specs,
+    multi_failure_specs,
+    recovery_curve_specs,
+    recovery_sweep_specs,
 )
 from repro.experiments.fct import (
-    run_abilene_fct,
-    run_fattree_fct,
-    run_incast,
-    run_queue_cdf,
-    run_transport_sensitivity,
+    abilene_fct_specs,
+    fattree_fct_specs,
+    flow_size_sensitivity_specs,
+    incast_specs,
+    queue_cdf_specs,
+    to_fct_points,
+    transport_sensitivity_specs,
 )
-from repro.experiments.overhead import run_overhead_experiment
+from repro.experiments.overhead import overhead_specs, to_overhead_points
+from repro.experiments.results import (
+    ResultsStore,
+    ShardedBackend,
+    collect_results,
+)
+from repro.experiments.runner import (
+    RunResult,
+    ScenarioSpec,
+    default_backend,
+    run_grid,
+)
 from repro.experiments.scalability import run_scalability_sweep
 
-__all__ = ["ScenarioOutcome", "SCENARIOS", "run_scenario", "scenario_names"]
+__all__ = [
+    "ScenarioOutcome",
+    "ShardOutcome",
+    "GridScenario",
+    "SCENARIOS",
+    "run_scenario",
+    "run_scenario_shard",
+    "merge_scenario",
+    "scenario_names",
+    "shardable_scenario_names",
+    "scenario_is_shardable",
+]
 
 
 @dataclass
@@ -47,46 +89,64 @@ class ScenarioOutcome:
     payload: Any
 
 
-def _fig9_10(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
-    points = run_scalability_sweep(fattree_sizes=config.scalability_fattree_sizes,
-                                   random_sizes=config.scalability_random_sizes,
-                                   processes=processes)
-    return ScenarioOutcome("fig9-10", report.format_scalability(points),
-                           [asdict(p) for p in points])
+@dataclass
+class ShardOutcome:
+    """What one shard of a sharded scenario run produced."""
+
+    name: str
+    shard_index: int
+    shard_count: int
+    total_points: int
+    assigned: int
+    executed: int
+    skipped: int
+    results_path: str
+    wall_s: float
+
+    @property
+    def text(self) -> str:
+        return (f"{self.name} shard {self.shard_index}/{self.shard_count}: "
+                f"{self.assigned} of {self.total_points} grid points assigned, "
+                f"{self.executed} executed, {self.skipped} already complete "
+                f"({self.wall_s:.1f} s)\n"
+                f"results: {self.results_path}")
 
 
-def _fig11(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
-    points = run_fattree_fct(config, processes=processes)
-    return ScenarioOutcome("fig11",
-                           report.format_fct(points, "Figure 11: symmetric fat-tree FCT"),
-                           [asdict(p) for p in points])
+@dataclass(frozen=True)
+class GridScenario:
+    """A scenario that is one spec grid: shardable, resumable, mergeable."""
+
+    build_specs: Callable[[ExperimentConfig], List[ScenarioSpec]]
+    finish: Callable[[ExperimentConfig, List[RunResult]], ScenarioOutcome]
 
 
-def _fig11_k8(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
-    """The Figure 11 sweep on a k=8 fat-tree (80 switches, 128 hosts; slow)."""
-    points = run_fattree_fct(replace(config, fattree_k=8), processes=processes)
-    return ScenarioOutcome("fig11-k8",
-                           report.format_fct(points,
-                                             "Figure 11 at k=8: symmetric fat-tree FCT"),
-                           [asdict(p) for p in points])
+# --------------------------------------------------------------- grid finishes
+
+def _fct_scenario(name: str, title: str,
+                  fattree_k: Optional[int] = None,
+                  asymmetric: bool = False) -> GridScenario:
+    def build(config: ExperimentConfig) -> List[ScenarioSpec]:
+        if fattree_k is not None:
+            config = replace(config, fattree_k=fattree_k)
+        return fattree_fct_specs(config, asymmetric=asymmetric)
+
+    def finish(config: ExperimentConfig, results: List[RunResult]) -> ScenarioOutcome:
+        points = to_fct_points(results)
+        return ScenarioOutcome(name, report.format_fct(points, title),
+                               [asdict(p) for p in points])
+
+    return GridScenario(build, finish)
 
 
-def _fig12(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
-    points = run_fattree_fct(config, asymmetric=True, processes=processes)
-    return ScenarioOutcome("fig12",
-                           report.format_fct(points, "Figure 12: asymmetric fat-tree FCT"),
-                           [asdict(p) for p in points])
-
-
-def _fig13(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
-    cdfs = run_queue_cdf(config, processes=processes)
+def _fig13_finish(config: ExperimentConfig, results: List[RunResult]) -> ScenarioOutcome:
+    cdfs = {result.system: result.queue_cdf for result in results}
     return ScenarioOutcome("fig13", report.format_queue_cdf(cdfs),
                            {system: {str(p): v for p, v in cdf.items()}
                             for system, cdf in cdfs.items()})
 
 
-def _fig14(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
-    results = run_failure_recovery(config, processes=processes)
+def _fig14_finish(config: ExperimentConfig, results: List[RunResult]) -> ScenarioOutcome:
+    analysed = analyse_recovery_results(results)
     payload = {
         system: {
             "baseline_rate": outcome.baseline_rate,
@@ -94,20 +154,83 @@ def _fig14(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcom
             "recovery_delay_ms": outcome.recovery_delay,
             "failure_detections": outcome.failure_detections,
         }
-        for system, outcome in results.items()
+        for system, outcome in analysed.items()
     }
-    return ScenarioOutcome("fig14", report.format_recovery(results), payload)
+    return ScenarioOutcome("fig14", report.format_recovery(analysed), payload)
 
 
-def _fig15(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
-    points = run_abilene_fct(config, processes=processes)
+def _fig15_finish(config: ExperimentConfig, results: List[RunResult]) -> ScenarioOutcome:
+    points = to_fct_points(results)
     return ScenarioOutcome("fig15", report.format_fct(points, "Figure 15: Abilene FCT"),
                            [asdict(p) for p in points])
 
 
-def _fig16(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
-    points = run_overhead_experiment(config, processes=processes)
+def _fig16_finish(config: ExperimentConfig, results: List[RunResult]) -> ScenarioOutcome:
+    points = to_overhead_points(results)
     return ScenarioOutcome("fig16", report.format_overhead(points),
+                           [asdict(p) for p in points])
+
+
+def _incast_finish(config: ExperimentConfig, results: List[RunResult]) -> ScenarioOutcome:
+    return ScenarioOutcome("incast",
+                           report.format_grid(results, "Incast: N-to-1 fan-in FCT"),
+                           [asdict(r) for r in results])
+
+
+def _multi_failure_finish(config: ExperimentConfig,
+                          results: List[RunResult]) -> ScenarioOutcome:
+    return ScenarioOutcome(
+        "multi-failure",
+        report.format_grid(results, "Multi-failure schedule on NSFNET (WAN)"),
+        [asdict(r) for r in results])
+
+
+def _recovery_sweep_finish(config: ExperimentConfig,
+                           results: List[RunResult]) -> ScenarioOutcome:
+    analysed = analyse_recovery_sweep_results(results)
+    payload = {
+        system: {
+            "fail_time_ms": outcome.fail_time,
+            "recover_time_ms": outcome.recover_time,
+            "baseline_rate": outcome.baseline_rate,
+            "dip_delay_ms": outcome.dip_delay,
+            "post_recovery_rate": outcome.post_recovery_rate,
+            "recovery_ratio": outcome.recovery_ratio,
+        }
+        for system, outcome in analysed.items()
+    }
+    return ScenarioOutcome("recovery-sweep", report.format_recovery_sweep(analysed),
+                           payload)
+
+
+def _recovery_curve_finish(config: ExperimentConfig,
+                           results: List[RunResult]) -> ScenarioOutcome:
+    points = analyse_recovery_curve(results)
+    return ScenarioOutcome("recovery-curve", report.format_recovery_curve(points),
+                           [asdict(p) for p in points])
+
+
+def _transport_finish(config: ExperimentConfig,
+                      results: List[RunResult]) -> ScenarioOutcome:
+    return ScenarioOutcome("transport-sensitivity",
+                           report.format_transport(results),
+                           [asdict(r) for r in results])
+
+
+def _flow_size_finish(config: ExperimentConfig,
+                      results: List[RunResult]) -> ScenarioOutcome:
+    return ScenarioOutcome("flow-size-sensitivity",
+                           report.format_flow_size(results),
+                           [asdict(r) for r in results])
+
+
+# ------------------------------------------------------------ legacy scenarios
+
+def _fig9_10(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
+    points = run_scalability_sweep(fattree_sizes=config.scalability_fattree_sizes,
+                                   random_sizes=config.scalability_random_sizes,
+                                   processes=processes)
+    return ScenarioOutcome("fig9-10", report.format_scalability(points),
                            [asdict(p) for p in points])
 
 
@@ -128,61 +251,33 @@ def _ablations(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOu
     return ScenarioOutcome("ablations", text, payload)
 
 
-def _incast(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
-    results = run_incast(config, processes=processes)
-    return ScenarioOutcome("incast",
-                           report.format_grid(results, "Incast: N-to-1 fan-in FCT"),
-                           [asdict(r) for r in results])
-
-
-def _multi_failure(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
-    results = run_multi_failure(config, processes=processes)
-    return ScenarioOutcome(
-        "multi-failure",
-        report.format_grid(results, "Multi-failure schedule on NSFNET (WAN)"),
-        [asdict(r) for r in results])
-
-
-def _recovery_sweep(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
-    results = run_recovery_sweep(config, processes=processes)
-    payload = {
-        system: {
-            "fail_time_ms": outcome.fail_time,
-            "recover_time_ms": outcome.recover_time,
-            "baseline_rate": outcome.baseline_rate,
-            "dip_delay_ms": outcome.dip_delay,
-            "post_recovery_rate": outcome.post_recovery_rate,
-            "recovery_ratio": outcome.recovery_ratio,
-        }
-        for system, outcome in results.items()
-    }
-    return ScenarioOutcome("recovery-sweep", report.format_recovery_sweep(results),
-                           payload)
-
-
-def _transport_sensitivity(config: ExperimentConfig,
-                           processes: Optional[int]) -> ScenarioOutcome:
-    results = run_transport_sensitivity(config, processes=processes)
-    return ScenarioOutcome("transport-sensitivity",
-                           report.format_transport(results),
-                           [asdict(r) for r in results])
-
-
-#: Scenario name -> runner; each entry executes through the grid runner.
-SCENARIOS: Dict[str, Callable[[ExperimentConfig, Optional[int]], ScenarioOutcome]] = {
+#: Scenario name -> GridScenario (shardable) or legacy callable.
+SCENARIOS: Dict[str, Union[GridScenario,
+                           Callable[[ExperimentConfig, Optional[int]],
+                                    ScenarioOutcome]]] = {
     "fig9-10": _fig9_10,
-    "fig11": _fig11,
-    "fig11-k8": _fig11_k8,
-    "fig12": _fig12,
-    "fig13": _fig13,
-    "fig14": _fig14,
-    "fig15": _fig15,
-    "fig16": _fig16,
+    "fig11": _fct_scenario("fig11", "Figure 11: symmetric fat-tree FCT"),
+    "fig11-k8": _fct_scenario("fig11-k8",
+                              "Figure 11 at k=8: symmetric fat-tree FCT",
+                              fattree_k=8),
+    "fig11-k16": _fct_scenario("fig11-k16",
+                               "Figure 11 at k=16: symmetric fat-tree FCT",
+                               fattree_k=16),
+    "fig12": _fct_scenario("fig12", "Figure 12: asymmetric fat-tree FCT",
+                           asymmetric=True),
+    "fig13": GridScenario(queue_cdf_specs, _fig13_finish),
+    "fig14": GridScenario(failure_recovery_specs, _fig14_finish),
+    "fig15": GridScenario(abilene_fct_specs, _fig15_finish),
+    "fig16": GridScenario(overhead_specs, _fig16_finish),
     "ablations": _ablations,
-    "incast": _incast,
-    "multi-failure": _multi_failure,
-    "recovery-sweep": _recovery_sweep,
-    "transport-sensitivity": _transport_sensitivity,
+    "incast": GridScenario(incast_specs, _incast_finish),
+    "multi-failure": GridScenario(multi_failure_specs, _multi_failure_finish),
+    "recovery-sweep": GridScenario(recovery_sweep_specs, _recovery_sweep_finish),
+    "recovery-curve": GridScenario(recovery_curve_specs, _recovery_curve_finish),
+    "transport-sensitivity": GridScenario(transport_sensitivity_specs,
+                                          _transport_finish),
+    "flow-size-sensitivity": GridScenario(flow_size_sensitivity_specs,
+                                          _flow_size_finish),
 }
 
 
@@ -190,11 +285,96 @@ def scenario_names() -> List[str]:
     return list(SCENARIOS)
 
 
-def run_scenario(name: str, config: ExperimentConfig,
-                 processes: Optional[int] = None) -> ScenarioOutcome:
-    """Execute one named scenario; raises KeyError for unknown names."""
+def scenario_is_shardable(name: str) -> bool:
+    return isinstance(SCENARIOS.get(name), GridScenario)
+
+
+def shardable_scenario_names() -> List[str]:
+    return [name for name in SCENARIOS if scenario_is_shardable(name)]
+
+
+def _scenario(name: str):
     try:
-        runner = SCENARIOS[name]
+        return SCENARIOS[name]
     except KeyError:
         raise KeyError(f"unknown scenario {name!r}; available: {scenario_names()}") from None
-    return runner(config, processes)
+
+
+def _grid_scenario(name: str) -> GridScenario:
+    entry = _scenario(name)
+    if not isinstance(entry, GridScenario):
+        raise ExperimentError(
+            f"scenario {name!r} is not a single spec grid and cannot use a "
+            f"results store; shardable scenarios: {shardable_scenario_names()}")
+    return entry
+
+
+def run_scenario(name: str, config: ExperimentConfig,
+                 processes: Optional[int] = None,
+                 results_dir: Optional[str] = None) -> ScenarioOutcome:
+    """Execute one named scenario end to end; raises KeyError for unknown names.
+
+    ``results_dir`` (grid scenarios only) makes the run resumable: completed
+    points are loaded from the store and skipped, fresh points are appended
+    as they finish, and the outcome is identical to an uninterrupted run.
+    """
+    entry = _scenario(name)
+    if isinstance(entry, GridScenario):
+        specs = entry.build_specs(config)
+        if results_dir is not None:
+            store = ResultsStore(results_dir)
+            backend = ShardedBackend(store,
+                                     inner=default_backend(processes, len(specs)))
+            results = run_grid(specs, backend=backend)
+        else:
+            results = run_grid(specs, processes=processes)
+        return entry.finish(config, results)
+    if results_dir is not None:
+        _grid_scenario(name)                # raises the authoritative error
+    return entry(config, processes)
+
+
+def run_scenario_shard(name: str, config: ExperimentConfig, results_dir: str,
+                       shard_index: int, shard_count: int,
+                       processes: Optional[int] = None) -> ShardOutcome:
+    """Execute one deterministic 1/n slice of a grid scenario into a store.
+
+    Shard ``i`` owns every spec at position ``p`` with ``p % n == i`` of the
+    deterministically ordered grid; points already present in the store are
+    skipped (resume).  Once every shard has run against the same directory,
+    :func:`merge_scenario` produces the exact unsharded outcome.
+    """
+    entry = _grid_scenario(name)
+    specs = entry.build_specs(config)
+    store = ResultsStore(results_dir, shard_index, shard_count)
+    backend = ShardedBackend(store, inner=default_backend(processes, len(specs)))
+    started = time.perf_counter()
+    run_grid(specs, backend=backend)
+    wall_s = time.perf_counter() - started
+    store.write_meta(name, wall_s, total=len(specs), assigned=backend.assigned,
+                     executed=backend.executed, skipped=backend.skipped)
+    return ShardOutcome(
+        name=name,
+        shard_index=shard_index,
+        shard_count=shard_count,
+        total_points=len(specs),
+        assigned=backend.assigned,
+        executed=backend.executed,
+        skipped=backend.skipped,
+        results_path=str(store.path),
+        wall_s=wall_s,
+    )
+
+
+def merge_scenario(name: str, config: ExperimentConfig,
+                   results_dir: str) -> ScenarioOutcome:
+    """Union the shard artifacts in ``results_dir`` into the full outcome.
+
+    Runs nothing: every grid point must already be in the store (any shard
+    layout), and the returned outcome is byte-identical to what an unsharded
+    :func:`run_scenario` under the same config produces.
+    """
+    entry = _grid_scenario(name)
+    specs = entry.build_specs(config)
+    results = collect_results(specs, ResultsStore(results_dir))
+    return entry.finish(config, results)

@@ -16,7 +16,9 @@ __all__ = [
     "format_queue_cdf",
     "format_recovery",
     "format_recovery_sweep",
+    "format_recovery_curve",
     "format_grid",
+    "format_flow_size",
     "format_overhead",
     "format_ablation",
     "format_transport",
@@ -98,6 +100,42 @@ def format_recovery_sweep(results: Mapping[str, object],
     return format_table(
         ("system", "fail_ms", "recover_ms", "baseline_rate", "dip_after_ms",
          "post_recovery_rate", "recovery_ratio"),
+        rows, title=title)
+
+
+def format_recovery_curve(points,
+                          title: str = "Recovery curve: outage duration sweep "
+                                       "(leaf-spine fail -> recover)") -> str:
+    """Rows over :class:`~repro.experiments.failure_recovery.RecoveryCurvePoint`\\ s."""
+    rows = [(p.system, p.outage_ms, p.baseline_rate, p.dip_depth, p.dip_delay,
+             p.recovery_time_ms) for p in points]
+    return format_table(
+        ("system", "outage_ms", "baseline_rate", "dip_depth", "dip_after_ms",
+         "recovered_after_ms"),
+        rows, title=title)
+
+
+def format_flow_size(results,
+                     title: str = "Flow-size sensitivity: distribution scale "
+                                  "x system (fat-tree)") -> str:
+    """Rows over flow-size-sensitivity :class:`RunResult`\\ s.
+
+    The scale factor is recovered from the spec name
+    (``flow-size:<factor>x:<system>``).
+    """
+    rows = []
+    for r in results:
+        summary = r.summary
+        parts = r.name.split(":")
+        factor = parts[1] if len(parts) > 1 else "?"
+        rows.append((factor, r.system, f"{round(r.load * 100)}%",
+                     summary.get("avg_fct_ms", float("nan")),
+                     summary.get("p99_fct_ms", float("nan")),
+                     f"{int(summary.get('completed_flows', 0))}/"
+                     f"{int(summary.get('flows', 0))}",
+                     int(summary.get("drops", 0))))
+    return format_table(
+        ("scale", "system", "load", "avg_fct_ms", "p99_fct_ms", "completed", "drops"),
         rows, title=title)
 
 

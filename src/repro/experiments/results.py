@@ -1,0 +1,313 @@
+"""Persistent, mergeable results store for grid sweeps.
+
+A results store is a directory of append-only JSONL files: one record per
+completed :class:`~repro.experiments.runner.ScenarioSpec` grid point, keyed
+by the spec's canonical content hash (:func:`~repro.experiments.runner
+.spec_hash`).  Because the key is a pure function of the spec — not of the
+process, shard layout or execution order — the store gives two properties
+for free:
+
+* **resumability** — a rerun loads the store, skips every point whose hash
+  is already present, and produces byte-identical output to an uninterrupted
+  run (results are deterministic, so the stored copy *is* the recomputation);
+* **shardability** — ``n`` independent processes each execute a deterministic
+  ``1/n`` slice (round-robin by spec index: shard ``i`` owns every spec whose
+  position satisfies ``index % n == i``) into their own shard file, and the
+  union of the shard files contains exactly the records an unsharded run
+  would have produced.  :func:`collect_results` then reassembles the full
+  grid in spec order, so a merged report is byte-identical to an unsharded
+  one.
+
+Records round-trip exactly: summaries keep their float/int JSON types
+(CPython's shortest-repr float serialization is lossless), queue CDFs are
+stored as ``[point, value]`` pairs so their float keys survive JSON, and
+throughput series are restored to tuples.  Two records for the same hash
+must agree — a conflict means the store mixes incompatible runs and raises
+:class:`~repro.exceptions.ExperimentError` rather than silently picking one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ExperimentError
+from repro.experiments.runner import (
+    ExecutionBackend,
+    RunResult,
+    ScenarioSpec,
+    SerialBackend,
+    spec_hash,
+)
+
+__all__ = [
+    "encode_result",
+    "decode_result",
+    "ResultsStore",
+    "ShardedBackend",
+    "collect_results",
+    "parse_shard",
+]
+
+
+def encode_result(result: RunResult) -> dict:
+    """One :class:`RunResult` as a JSON-serializable dict (exact round-trip)."""
+    return {
+        "name": result.name,
+        "system": result.system,
+        "workload": result.workload,
+        "load": result.load,
+        "seed": result.seed,
+        "summary": result.summary,
+        # Pairs, not an object: JSON object keys are strings, and the CDF is
+        # keyed by float percentile points that must survive unchanged.
+        "queue_cdf": [[point, value] for point, value in result.queue_cdf.items()]
+        if result.queue_cdf is not None else None,
+        "throughput": [[time, rate] for time, rate in result.throughput]
+        if result.throughput is not None else None,
+    }
+
+
+def decode_result(record: dict) -> RunResult:
+    """Rebuild the :class:`RunResult` written by :func:`encode_result`."""
+    queue_cdf = record.get("queue_cdf")
+    throughput = record.get("throughput")
+    return RunResult(
+        name=record["name"],
+        system=record["system"],
+        workload=record["workload"],
+        load=record["load"],
+        seed=record["seed"],
+        summary=record["summary"],
+        queue_cdf={point: value for point, value in queue_cdf}
+        if queue_cdf is not None else None,
+        throughput=[(time, rate) for time, rate in throughput]
+        if throughput is not None else None,
+    )
+
+
+def parse_shard(text: str) -> Tuple[int, int]:
+    """Parse an ``i/n`` shard selector; raises :class:`ExperimentError`."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ExperimentError(
+            f"invalid shard selector {text!r}; expected i/n, e.g. 0/2") from None
+    if count < 1 or not 0 <= index < count:
+        raise ExperimentError(
+            f"invalid shard selector {text!r}; need 0 <= i < n")
+    return index, count
+
+
+class ResultsStore:
+    """One results directory: shard-local JSONL writes, union-of-files reads.
+
+    Every store instance appends to its own shard file
+    (``results-shard<i>of<n>.jsonl``) but :meth:`load` reads **all**
+    ``results-*.jsonl`` files in the directory, so resume sees every shard's
+    completed work regardless of which shard layout produced it.
+    """
+
+    def __init__(self, directory, shard_index: int = 0, shard_count: int = 1):
+        if shard_count < 1 or not 0 <= shard_index < shard_count:
+            raise ExperimentError(
+                f"invalid shard {shard_index}/{shard_count}; need 0 <= i < n")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.path = self.directory / f"results-shard{shard_index}of{shard_count}.jsonl"
+        self._repair_torn_tail()
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate a partial final line of *this shard's own* file.
+
+        A run killed mid-append leaves a line without a trailing newline;
+        appending after it would glue two records into one undecodable line.
+        Only the own shard file is repaired — other shards' files may be
+        live right now, and their in-flight partial line is handled (skipped)
+        by :meth:`load`'s final-line tolerance instead.
+        """
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        self.path.write_bytes(data[:data.rfind(b"\n") + 1])
+
+    # ------------------------------------------------------------------- read
+
+    def load(self) -> Dict[str, RunResult]:
+        """All completed points in the directory, keyed by spec hash.
+
+        A file's *final* line may be a partial record — the in-flight append
+        of a run that was killed mid-flush.  That line is skipped (its point
+        simply re-executes on resume); an undecodable line anywhere else is
+        real corruption and raises.
+        """
+        canonical: Dict[str, str] = {}
+        payloads: Dict[str, dict] = {}
+        for file, line_number, record in self._records():
+            try:
+                key, payload = record["spec_hash"], record["result"]
+            except (KeyError, TypeError):
+                raise ExperimentError(
+                    f"corrupt results record at {file}:{line_number}") from None
+            # Compare serialized forms, not dicts: summaries legitimately
+            # carry NaN (e.g. avg_fct_ms of a streams-only run), and
+            # NaN != NaN would make byte-identical duplicates look like a
+            # conflict under dict equality.
+            serialized = json.dumps(payload, sort_keys=True)
+            if key in canonical and canonical[key] != serialized:
+                raise ExperimentError(
+                    f"conflicting results for spec hash {key[:12]}… in {file}: "
+                    f"the store mixes records from incompatible runs")
+            canonical[key] = serialized
+            payloads[key] = payload
+        return {key: decode_result(payload) for key, payload in payloads.items()}
+
+    def _records(self):
+        """Yield ``(file, line_number, record)`` over every decodable line."""
+        for file in sorted(self.directory.glob("results-*.jsonl")):
+            lines = file.read_text().splitlines()
+            for line_number, line in enumerate(lines, 1):
+                if not line.strip():
+                    continue
+                try:
+                    yield file, line_number, json.loads(line)
+                except json.JSONDecodeError:
+                    if line_number == len(lines):
+                        continue            # torn final append of a killed run
+                    raise ExperimentError(
+                        f"corrupt results record at {file}:{line_number}") from None
+
+    # ------------------------------------------------------------------ write
+
+    def record(self, spec: ScenarioSpec, result: RunResult,
+               wall_s: Optional[float] = None,
+               key: Optional[str] = None) -> None:
+        """Append one completed grid point (flushed per record, crash-safe).
+
+        ``wall_s`` is the wall-clock this execution spent on the point
+        (measured where it executed); it lives *outside* the ``result``
+        payload, so the conflict check stays on the deterministic result
+        bytes while :meth:`total_wall_s` can sum the true compute invested
+        in the store (every record is one actual execution — re-executed
+        points count every time, skipped ones never).  ``key`` lets callers
+        that already hold ``spec_hash(spec)`` skip recomputing it.
+        """
+        record = {
+            "spec_hash": key if key is not None else spec_hash(spec),
+            "spec_name": spec.name,
+            "result": encode_result(result),
+        }
+        if wall_s is not None:
+            record["point_wall_s"] = round(wall_s, 4)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+    def total_wall_s(self) -> float:
+        """Wall-clock summed over every record in the directory (see record)."""
+        return sum(record.get("point_wall_s", 0.0)
+                   for _, _, record in self._records())
+
+    # ---------------------------------------------------------- shard metadata
+
+    def write_meta(self, scenario: str, wall_s: float, total: int, assigned: int,
+                   executed: int, skipped: int) -> Path:
+        """Record this shard's run accounting next to its results file."""
+        path = self.directory / (
+            f"shard{self.shard_index}of{self.shard_count}.meta.json")
+        path.write_text(json.dumps({
+            "scenario": scenario,
+            "shard_index": self.shard_index,
+            "shard_count": self.shard_count,
+            "wall_s": round(wall_s, 4),
+            "total_points": total,
+            "assigned": assigned,
+            "executed": executed,
+            "skipped": skipped,
+        }, indent=2, sort_keys=True) + "\n")
+        return path
+
+    def load_metas(self) -> List[dict]:
+        """Every shard meta record in the directory (sorted by file name)."""
+        metas = []
+        for file in sorted(self.directory.glob("shard*.meta.json")):
+            try:
+                metas.append(json.loads(file.read_text()))
+            except json.JSONDecodeError:
+                raise ExperimentError(f"corrupt shard meta file {file}") from None
+        return metas
+
+
+class ShardedBackend(ExecutionBackend):
+    """Execute a deterministic 1/n slice of a grid against a results store.
+
+    Shard ``i`` of ``n`` owns the specs at positions ``i, i+n, i+2n, …`` of
+    the (deterministically ordered) spec list — round-robin assignment, so
+    every shard gets a balanced cross-section of the grid axes.  Points whose
+    hash is already in the store are skipped (resume); fresh points run on
+    the ``inner`` backend and are appended to the shard's file as they
+    complete.  ``run`` returns the shard's results in slice order — the
+    *decoded store copies*, so a direct run and a later merge read the exact
+    same bytes.
+    """
+
+    def __init__(self, store: ResultsStore, inner: Optional[ExecutionBackend] = None):
+        self.store = store
+        self.inner = inner if inner is not None else SerialBackend()
+        # Accounting for the caller's progress report, filled in by run().
+        self.assigned = 0
+        self.executed = 0
+        self.skipped = 0
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> List[RunResult]:
+        specs = list(specs)
+        count, index = self.store.shard_count, self.store.shard_index
+        mine = [spec for position, spec in enumerate(specs)
+                if position % count == index]
+        hashes = [spec_hash(spec) for spec in mine]
+        completed = self.store.load()
+        todo = [(spec, key) for spec, key in zip(mine, hashes)
+                if key not in completed]
+        # Stream the inner backend: each point is recorded as it arrives
+        # (per point from a serial inner, per completed chunk from a pool),
+        # so an interrupted shard resumes from its last persisted point, not
+        # from scratch.  Wall-clock comes from run_iter_timed, i.e. measured
+        # where the point executed.  The encode/decode round-trip keeps the
+        # returned objects identical to what a later merge reads back.
+        fresh = self.inner.run_iter_timed([spec for spec, _ in todo])
+        for (spec, key), (result, wall_s) in zip(todo, fresh):
+            self.store.record(spec, result, wall_s=wall_s, key=key)
+            completed[key] = decode_result(encode_result(result))
+        self.assigned = len(mine)
+        self.executed = len(todo)
+        self.skipped = len(mine) - len(todo)
+        return [completed[key] for key in hashes]
+
+
+def collect_results(specs: Sequence[ScenarioSpec], store: ResultsStore) -> List[RunResult]:
+    """Assemble the full grid from the store, in spec order (merge semantics).
+
+    Raises :class:`ExperimentError` naming the first missing point when any
+    shard has not completed — a partial merge would silently produce a
+    report computed over a different grid than the scenario defines.
+    """
+    completed = store.load()
+    results = []
+    missing = []
+    for spec in specs:
+        result = completed.get(spec_hash(spec))
+        if result is None:
+            missing.append(spec.name)
+        else:
+            results.append(result)
+    if missing:
+        raise ExperimentError(
+            f"results store {store.directory} is missing {len(missing)} of "
+            f"{len(specs)} grid points (first missing: {missing[0]!r}); "
+            f"run the remaining shards before merging")
+    return results

@@ -10,8 +10,13 @@ Two tiers live here:
   :class:`ScenarioSpec` describes one (topology, system, workload, load, seed)
   point as plain data, a :class:`RunContext` executes specs while caching
   topologies, compiled policies and generated workloads, and :func:`run_grid`
-  fans a list of specs across a process pool (or runs them inline), returning
-  :class:`RunResult` objects in spec order.
+  hands a list of specs to a pluggable :class:`ExecutionBackend` (inline
+  :class:`SerialBackend`, process-pool :class:`PoolBackend`, or the sharded
+  store-backed backend from :mod:`repro.experiments.results`), returning
+  :class:`RunResult` objects in spec order;
+* **spec hashing** — :func:`spec_hash` digests a spec's canonical plain-data
+  form (:func:`canonical_spec`) into a stable SHA-256 key, which is what the
+  persistent results store keys completed grid points by.
 
 Because a spec is pure data (strings, numbers, tuples and the frozen
 :class:`~repro.experiments.config.ExperimentConfig`), it pickles cleanly into
@@ -23,9 +28,12 @@ of workers.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import EcmpSystem, HulaSystem, ShortestPathSystem, SpainSystem
@@ -59,6 +67,12 @@ __all__ = [
     "ScenarioSpec",
     "RunResult",
     "RunContext",
+    "canonical_spec",
+    "spec_hash",
+    "ExecutionBackend",
+    "SerialBackend",
+    "PoolBackend",
+    "default_backend",
     "run_grid",
     "grid_map",
     "resolve_processes",
@@ -386,6 +400,47 @@ class ScenarioSpec:
     collect_throughput: bool = False             # collect the throughput series
 
 
+# ---------------------------------------------------------------- spec hashing
+
+#: Bumped whenever the canonical spec encoding changes shape, so stale results
+#: stores can never satisfy a lookup from a newer encoder.
+_SPEC_HASH_VERSION = 1
+
+
+def canonical_spec(spec: ScenarioSpec) -> Dict:
+    """The canonical plain-data form of a spec used for hashing.
+
+    Canonicalization rules (the results-store contract, see ARCHITECTURE.md):
+
+    * every dataclass (the spec itself, its :class:`TopologySpec`,
+      :class:`~repro.experiments.config.ExperimentConfig` and
+      :class:`LinkEvent` entries) becomes a plain dict of its fields;
+    * ``events`` entries given as bare ``(time, a, b, action)`` tuples are
+      normalized to :class:`LinkEvent` first, so the two accepted spellings
+      of the same schedule hash identically;
+    * tuples become JSON arrays; nothing else is transformed — in particular
+      *no* field is dropped, so two specs that differ anywhere (including the
+      config) never collide by construction.
+    """
+    events = tuple(event if isinstance(event, LinkEvent) else LinkEvent(*event)
+                   for event in spec.events)
+    return asdict(replace(spec, events=events))
+
+
+def spec_hash(spec: ScenarioSpec) -> str:
+    """A stable content hash of one grid point.
+
+    The canonical form is serialized as compact JSON with sorted keys and
+    hashed with SHA-256: the digest is identical across processes,
+    interpreter invocations and platforms (CPython's shortest-repr float
+    serialization is deterministic, and no randomized ``hash()`` is
+    involved), which is what makes results stores shardable and resumable.
+    """
+    payload = json.dumps({"v": _SPEC_HASH_VERSION, "spec": canonical_spec(spec)},
+                         sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 @dataclass
 class RunResult:
     """The per-spec outcome a grid run returns (picklable, no live objects)."""
@@ -607,7 +662,7 @@ class RunContext:
         network.sim.call_at(spec.stream_start, start_streams)
 
 
-# --------------------------------------------------------------------- pooling
+# ----------------------------------------------------------------- backends
 
 #: Worker-process context, created lazily on first task (survives across
 #: tasks of one pool, so caches amortize over every spec the worker executes).
@@ -619,6 +674,12 @@ def _worker_run(spec: ScenarioSpec) -> RunResult:
     if _WORKER_CONTEXT is None:
         _WORKER_CONTEXT = RunContext()
     return _WORKER_CONTEXT.run(spec)
+
+
+def _worker_run_timed(spec: ScenarioSpec) -> Tuple[RunResult, float]:
+    started = time.perf_counter()
+    result = _worker_run(spec)
+    return result, time.perf_counter() - started
 
 
 def resolve_processes(processes: Optional[int], tasks: int) -> int:
@@ -637,24 +698,107 @@ def resolve_processes(processes: Optional[int], tasks: int) -> int:
     return max(1, min(processes, tasks))
 
 
-def run_grid(specs: Sequence[ScenarioSpec], processes: Optional[int] = None,
-             context: Optional[RunContext] = None) -> List[RunResult]:
-    """Execute every spec, fanning across a process pool, in spec order.
+class ExecutionBackend:
+    """How a grid of specs gets executed.
 
-    ``processes=None`` consults ``$CONTRA_PROCS`` (default serial);
-    ``processes=0`` uses every core.  Results are returned in input order
-    regardless of completion order, and are byte-identical to a serial run.
+    Backends are interchangeable behind :func:`run_grid`: given the same
+    specs, every backend returns the same :class:`RunResult` list in spec
+    order (the determinism contract).  ``serial`` and ``pool`` live here;
+    the store-coupled ``sharded`` backend (deterministic 1/n slices plus
+    skip-complete resume) lives in :mod:`repro.experiments.results`.
+
+    Subclasses override :meth:`run_iter_timed` (preferred — it lets wrappers
+    stream results as they complete, e.g. for per-point persistence, with
+    each point's wall-clock measured where it actually executed) or
+    :meth:`run`; the defaults delegate to one another.
+    """
+
+    def run(self, specs: Sequence[ScenarioSpec]) -> List[RunResult]:
+        return list(self.run_iter(specs))
+
+    def run_iter(self, specs: Sequence[ScenarioSpec]):
+        """Yield results in spec order, as each point completes."""
+        return (result for result, _ in self.run_iter_timed(specs))
+
+    def run_iter_timed(self, specs: Sequence[ScenarioSpec]):
+        """Yield ``(result, wall_s)`` pairs in spec order.
+
+        The default measures on the consumer side — exact for inline
+        backends, an arrival-gap approximation for anything that computes
+        ahead of the consumer; such backends should override this with
+        in-worker measurement.
+        """
+        iterator = iter(self.run(specs))
+        while True:
+            started = time.perf_counter()
+            try:
+                result = next(iterator)
+            except StopIteration:
+                return
+            yield result, time.perf_counter() - started
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every spec inline in this process, through one shared context."""
+
+    def __init__(self, context: Optional[RunContext] = None):
+        self._context = context
+
+    def run_iter_timed(self, specs: Sequence[ScenarioSpec]):
+        context = self._context if self._context is not None else RunContext()
+        for spec in specs:
+            started = time.perf_counter()
+            result = context.run(spec)
+            yield result, time.perf_counter() - started
+
+
+class PoolBackend(ExecutionBackend):
+    """Fan specs across a process pool; falls back to serial for tiny grids."""
+
+    def __init__(self, processes: Optional[int] = None):
+        self.processes = processes
+
+    def run_iter_timed(self, specs: Sequence[ScenarioSpec]):
+        specs = list(specs)
+        if not specs:
+            return
+        workers = resolve_processes(self.processes, len(specs))
+        if workers <= 1:
+            yield from SerialBackend().run_iter_timed(specs)
+            return
+        chunksize = max(1, len(specs) // workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # pool.map yields in spec order as chunks complete, so a
+            # streaming consumer sees results well before the grid finishes;
+            # wall-clock is measured inside the worker, so per-point costs
+            # are real compute, not consumer-side arrival gaps.
+            yield from pool.map(_worker_run_timed, specs, chunksize=chunksize)
+
+
+def default_backend(processes: Optional[int] = None, tasks: int = 0,
+                    context: Optional[RunContext] = None) -> ExecutionBackend:
+    """The backend ``run_grid`` uses when none is supplied explicitly."""
+    if resolve_processes(processes, tasks) <= 1:
+        return SerialBackend(context)
+    return PoolBackend(processes)
+
+
+def run_grid(specs: Sequence[ScenarioSpec], processes: Optional[int] = None,
+             context: Optional[RunContext] = None,
+             backend: Optional[ExecutionBackend] = None) -> List[RunResult]:
+    """Execute every spec through an :class:`ExecutionBackend`, in spec order.
+
+    With no explicit ``backend``, ``processes=None`` consults
+    ``$CONTRA_PROCS`` (default serial) and ``processes=0`` uses every core.
+    Results are returned in input order regardless of completion order, and
+    are byte-identical whichever backend executes them.
     """
     specs = list(specs)
     if not specs:
         return []
-    workers = resolve_processes(processes, len(specs))
-    if workers <= 1:
-        ctx = context if context is not None else RunContext()
-        return [ctx.run(spec) for spec in specs]
-    chunksize = max(1, len(specs) // workers)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_worker_run, specs, chunksize=chunksize))
+    if backend is None:
+        backend = default_backend(processes, len(specs), context)
+    return backend.run(specs)
 
 
 def grid_map(fn: Callable, items: Sequence, processes: Optional[int] = None) -> List:

@@ -27,6 +27,13 @@ the ``transport`` knob on :class:`~repro.simulator.network.Network`:
   RTT-smoothed window per round trip).  RTT is estimated with one outstanding
   timing sample at a time and Karn's rule (retransmitted segments are never
   sampled).
+
+In the cwnd modes the retransmission timeout is **per flow**: once an RTT
+sample exists, the RTO follows RFC 6298 (``srtt + 4·rttvar``, floored at
+1 ms in the scaled regime, doubled per back-to-back timeout and reset on ACK
+progress) and is capped at the host-level constant — so loss recovery reacts
+at the flow's own RTT scale instead of a fabric-wide worst case.  ``"fixed"``
+mode always uses the host constant, byte-identical to the historical sender.
 """
 
 from __future__ import annotations
@@ -49,6 +56,16 @@ _INITIAL_SSTHRESH = float(1 << 30)
 #: RTT estimate used for pacing before the first sample arrives (ms).  One
 #: probe period's worth of transit is a reasonable prior in the scaled regime.
 _INITIAL_RTT_ESTIMATE = 0.5
+
+#: Lower bound on the srtt-derived per-flow RTO (ms).  RFC 6298 floors the
+#: RTO at 1 s against spurious timeouts from delay variance; in the scaled
+#: regime (packets serialize in ~10 µs, RTTs are fractions of a millisecond)
+#: one millisecond plays the same role.
+_MIN_RTO = 1.0
+
+#: Cap on the exponential RTO backoff multiplier applied after repeated
+#: timeouts (Karn's backoff); the host-level RTO bounds the result anyway.
+_MAX_RTO_BACKOFF = 64.0
 
 
 @dataclass
@@ -96,6 +113,8 @@ class SenderState:
         self.pacing_armed = False        # a pacing tick is already scheduled
         # RTT estimation: one outstanding (seq, send time) sample, Karn's rule.
         self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self._rto_backoff = 1.0          # doubled per RTO, reset on progress
         self._rtt_seq: Optional[int] = None
         self._rtt_sent = 0.0
         self._highest_sent = -1          # highest seq ever transmitted
@@ -135,9 +154,45 @@ class SenderState:
     def _sample_rtt(self, ack_seq: int, now: float) -> None:
         if self._rtt_seq is not None and ack_seq > self._rtt_seq:
             sample = now - self._rtt_sent
-            self.srtt = sample if self.srtt is None \
-                else 0.875 * self.srtt + 0.125 * sample
+            if self.srtt is None:
+                # RFC 6298 initialisation: SRTT = R, RTTVAR = R/2.
+                self.srtt = sample
+                self.rttvar = sample / 2.0
+            else:
+                # RTTVAR before SRTT (the deviation is against the old SRTT).
+                self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+                self.srtt = 0.875 * self.srtt + 0.125 * sample
             self._rtt_seq = None
+
+    def current_rto(self) -> float:
+        """The retransmission timeout in force for this flow right now.
+
+        ``"fixed"`` mode — and any flow without an RTT sample yet — uses the
+        host-level constant, preserving the historical schedule exactly.  The
+        cwnd modes derive the RTO from the flow's own Karn-sampled smoothed
+        RTT (``srtt + 4·rttvar``, RFC 6298), floored at :data:`_MIN_RTO`
+        against spurious timeouts, doubled per back-to-back RTO (Karn's
+        backoff, reset on ACK progress) and capped at the host constant so a
+        per-flow RTO never reacts *slower* than the old host-level one.
+        """
+        if self.transport == "fixed" or self.srtt is None:
+            return self.rto
+        rto = max(_MIN_RTO, self.srtt + 4.0 * (self.rttvar or 0.0))
+        return min(self.rto, rto * self._rto_backoff)
+
+    def first_check_delay(self) -> float:
+        """When to schedule the first timeout check after flow start.
+
+        The cwnd modes arm at the RTO floor rather than the host constant:
+        the flow has no RTT sample yet, but by the time the check fires it
+        usually does — so the *first* loss is already detected at the
+        per-flow RTO instead of waiting out the host constant (checks chase
+        ``last_progress + current_rto()`` from then on).  ``"fixed"`` keeps
+        the host constant, preserving its schedule exactly.
+        """
+        if self.transport == "fixed":
+            return self.rto
+        return min(self.rto, _MIN_RTO)
 
     def pacing_interval(self) -> float:
         """Gap between paced transmissions: one cwnd spread over one SRTT."""
@@ -160,6 +215,7 @@ class SenderState:
                 self.next_seq = ack_seq
             self.last_progress_time = now
             self.dup_acks = 0
+            self._rto_backoff = 1.0
             if self.transport != "fixed":
                 self._grow_cwnd(newly_acked)
             if self.cumulative_ack >= self.flow.size_packets:
@@ -211,13 +267,14 @@ class SenderState:
     def timeout_expired(self, now: float) -> bool:
         return (not self.completed
                 and self.in_flight > 0
-                and now - self.last_progress_time >= self.rto)
+                and now - self.last_progress_time >= self.current_rto())
 
     def retransmit(self, now: float) -> None:
         """Go-back-N on RTO: rewind transmission to the first unacked segment."""
         if self.transport != "fixed":
             self.ssthresh = max(2.0, self.cwnd / 2.0)
             self.cwnd = 1.0
+            self._rto_backoff = min(self._rto_backoff * 2.0, _MAX_RTO_BACKOFF)
         self.dup_acks = 0
         self._rtt_seq = None
         self.next_seq = self.cumulative_ack

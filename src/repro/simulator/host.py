@@ -6,7 +6,10 @@ window from the first segment, the historical default), ``"slowstart"``
 (slow start + AIMD congestion avoidance + fast retransmit on triple
 duplicate ACKs) or ``"paced"`` (slow start plus packet pacing at one cwnd
 per smoothed RTT) — plus an optional constant-rate (UDP-like) stream mode
-used by the failure-recovery experiment (Figure 14).
+used by the failure-recovery experiment (Figure 14).  The cwnd modes run
+their RTO timers at each flow's srtt-derived timeout
+(:meth:`~repro.simulator.flow.SenderState.current_rto`); ``"fixed"`` keeps
+the host-level constant.
 
 Delivery accounting distinguishes *goodput* from raw throughput: the host
 asks the receiver state whether a data segment is a first-time delivery
@@ -64,7 +67,8 @@ class Host:
         self.stats.register_flow(flow.flow_id, flow.src_host, flow.dst_host,
                                  flow.size_packets, self.sim.now)
         self._pump(flow.flow_id)
-        self.sim.call_later(self.rto, self._check_timeout, flow.flow_id)
+        self.sim.call_later(sender.first_check_delay(), self._check_timeout,
+                            flow.flow_id)
 
     def _pump(self, flow_id: int) -> None:
         """Send as many new segments as the (congestion) window allows."""
@@ -127,7 +131,19 @@ class Host:
             sender.retransmit(self.sim.now)
             self.stats.record_retransmission(flow_id)
             self._pump(flow_id)
-        self.sim.call_later(self.rto, self._check_timeout, flow_id)
+        # Re-arm at the earliest instant the flow could possibly time out
+        # (last_progress + rto), so no check ever fires before an expiry is
+        # possible.  In the cwnd modes the cadence is the srtt-derived
+        # per-flow RTO — faster loss detection inherently means more checks
+        # per flow, bounded by the flow's (short) lifetime.  "fixed" mode
+        # keeps the host-constant cadence, leaving its event schedule
+        # unchanged.
+        delay = sender.current_rto()
+        if sender.transport != "fixed":
+            remaining = sender.last_progress_time + delay - self.sim.now
+            if remaining > 0:
+                delay = remaining
+        self.sim.call_later(delay, self._check_timeout, flow_id)
 
     def _finish_sender(self, flow_id: int, sender: SenderState) -> None:
         """Report transport summaries and drop sender state on completion."""

@@ -211,3 +211,66 @@ class TestRegistryScenarios:
         outcome = run_scenario("fig9-10", config)
         assert {point["size"] for point in outcome.payload} == {20}
         assert {point["family"] for point in outcome.payload} == {"fattree"}
+
+
+class TestRecoveryCurveScenario:
+    def test_registered(self):
+        assert {"recovery-curve", "flow-size-sensitivity"} <= set(SCENARIOS)
+
+    def test_grid_axis_is_the_event_schedule(self):
+        from repro.experiments.failure_recovery import recovery_curve_specs
+        specs = recovery_curve_specs(TINY, systems=("contra",),
+                                     outages=(2.0, 6.0))
+        schedules = [spec.events for spec in specs]
+        assert len(set(schedules)) == 2
+        for spec in specs:
+            fail, recover = spec.events
+            assert fail.action == "fail" and recover.action == "recover"
+            assert recover.time > fail.time
+            # The run must outlast its own schedule's settle-out.
+            assert spec.run_duration > recover.time
+
+    def test_curve_end_to_end(self):
+        from repro.experiments.failure_recovery import run_recovery_curve
+        points = run_recovery_curve(TINY, systems=("contra",),
+                                    outages=(2.0, 6.0), fail_time=6.0)
+        assert [p.outage_ms for p in points] == [2.0, 6.0]
+        for point in points:
+            assert point.baseline_rate > 0
+            assert 0.0 <= point.dip_depth <= 1.0
+            # The link comes back, so throughput must return to >= 95%.
+            assert not math.isnan(point.recovery_time_ms)
+
+    def test_scenario_outcome_has_curve_table(self):
+        outcome = run_scenario("recovery-curve", TINY)
+        assert "outage_ms" in outcome.text
+        assert len(outcome.payload) == 2 * 3       # 2 systems x 3 outages
+        assert {row["system"] for row in outcome.payload} == {"contra", "hula"}
+
+
+class TestFlowSizeSensitivityScenario:
+    def test_scale_factors_multiply_the_workload_scale(self):
+        from repro.experiments.fct import flow_size_sensitivity_specs
+        specs = flow_size_sensitivity_specs(TINY, systems=("ecmp",),
+                                            scale_factors=(0.5, 2.0))
+        scales = [spec.workload_scale for spec in specs]
+        assert scales == [0.5 * TINY.websearch_scale, 2.0 * TINY.websearch_scale]
+
+    def test_scenario_end_to_end(self):
+        outcome = run_scenario("flow-size-sensitivity", TINY)
+        assert "scale" in outcome.text
+        assert len(outcome.payload) == 3 * 2       # 3 factors x 2 systems
+        by_factor = {}
+        for row in outcome.payload:
+            factor = row["name"].split(":")[1]
+            by_factor.setdefault(factor, []).append(row)
+        assert set(by_factor) == {"0.5x", "1.0x", "2.0x"}
+        for rows in by_factor.values():
+            for row in rows:
+                assert row["summary"]["completed_flows"] > 0
+        # The offered load is held constant, so scaling every flow up means
+        # proportionally *fewer* flows — the knob moved the distribution, not
+        # the demand.
+        flows = {factor: rows[0]["summary"]["flows"]
+                 for factor, rows in by_factor.items()}
+        assert flows["0.5x"] > flows["1.0x"] > flows["2.0x"]

@@ -168,6 +168,97 @@ class TestSenderCongestionControl:
         assert sender.srtt is None
 
 
+class TestPerFlowRto:
+    def _ack_with_rtt(self, sender, rtt, now):
+        """Send one new segment at ``now`` and ACK it ``rtt`` later."""
+        seq = sender.next_seq
+        sender.note_sent(seq, now=now)
+        sender.next_seq = seq + 1
+        sender.on_ack(seq + 1, now=now + rtt)
+
+    def test_no_sample_means_host_constant(self):
+        sender = make_sender("slowstart", rto=5.0)
+        assert sender.current_rto() == 5.0
+
+    def test_fixed_mode_always_uses_host_constant(self):
+        sender = make_sender("fixed", rto=5.0)
+        self._ack_with_rtt(sender, rtt=0.4, now=1.0)
+        assert sender.srtt is not None
+        assert sender.current_rto() == 5.0
+
+    def test_rto_derives_from_srtt_and_rttvar(self):
+        sender = make_sender("slowstart", rto=5.0)
+        self._ack_with_rtt(sender, rtt=0.8, now=1.0)
+        # RFC 6298 init: srtt = 0.8, rttvar = 0.4 -> rto = 0.8 + 4*0.4 = 2.4.
+        assert sender.srtt == pytest.approx(0.8)
+        assert sender.rttvar == pytest.approx(0.4)
+        assert sender.current_rto() == pytest.approx(2.4)
+
+    def test_rto_floored_at_one_millisecond(self):
+        sender = make_sender("slowstart", rto=5.0)
+        self._ack_with_rtt(sender, rtt=0.1, now=1.0)
+        # srtt + 4*rttvar = 0.3 in the scaled regime; the floor holds it at 1.
+        assert sender.current_rto() == pytest.approx(1.0)
+
+    def test_rto_capped_at_host_constant(self):
+        sender = make_sender("slowstart", rto=5.0)
+        self._ack_with_rtt(sender, rtt=10.0, now=1.0)
+        assert sender.current_rto() == 5.0
+
+    def test_rttvar_tracks_deviation(self):
+        sender = make_sender("slowstart", rto=50.0)
+        self._ack_with_rtt(sender, rtt=1.0, now=0.0)
+        stable_var = sender.rttvar
+        self._ack_with_rtt(sender, rtt=4.0, now=10.0)
+        assert sender.rttvar > stable_var
+
+    def test_backoff_doubles_per_rto_and_resets_on_progress(self):
+        sender = make_sender("slowstart", rto=50.0)
+        self._ack_with_rtt(sender, rtt=2.0, now=1.0)
+        base = sender.current_rto()
+        sender.next_seq = sender.cumulative_ack + 2
+        sender.retransmit(now=20.0)
+        assert sender.current_rto() == pytest.approx(2.0 * base)
+        sender.retransmit(now=40.0)
+        assert sender.current_rto() == pytest.approx(4.0 * base)
+        sender.on_ack(sender.cumulative_ack + 1, now=41.0)
+        assert sender.current_rto() <= base
+
+    def test_fixed_mode_backoff_never_engages(self):
+        sender = make_sender("fixed", rto=5.0)
+        sender.next_seq = 4
+        sender.retransmit(now=20.0)
+        sender.retransmit(now=40.0)
+        assert sender.current_rto() == 5.0
+
+    def test_timeout_expires_at_the_per_flow_rto(self):
+        sender = make_sender("slowstart", rto=5.0)
+        self._ack_with_rtt(sender, rtt=0.1, now=0.0)   # rto floored to 1.0
+        sender.next_seq = sender.cumulative_ack + 1    # one segment in flight
+        # Progress happened at 0.1; at 1.05 the per-flow RTO (1.0) has not
+        # elapsed yet, at 1.2 it has — long before the host constant (5.0).
+        assert not sender.timeout_expired(1.05)
+        assert sender.timeout_expired(1.2)
+
+    def test_fixed_mode_timeout_still_waits_host_constant(self):
+        sender = make_sender("fixed", rto=5.0)
+        sender.note_sent(0, now=0.0)
+        sender.next_seq = 1
+        assert not sender.timeout_expired(4.9)
+        assert sender.timeout_expired(5.0)
+
+    def test_first_check_armed_at_floor_in_cwnd_modes(self):
+        # The first timeout check fires at the RTO floor, so the flow's
+        # *first* loss is already detected at the per-flow RTO once an RTT
+        # sample exists — not after the host constant.
+        assert make_sender("slowstart", rto=5.0).first_check_delay() == 1.0
+        assert make_sender("paced", rto=5.0).first_check_delay() == 1.0
+        assert make_sender("fixed", rto=5.0).first_check_delay() == 5.0
+        # A host constant below the floor still wins (never check later
+        # than the old schedule would have).
+        assert make_sender("slowstart", rto=0.5).first_check_delay() == 0.5
+
+
 class TestReceiverPruning:
     def test_in_order_delivery_keeps_no_state(self):
         receiver = ReceiverState(1, "a")
