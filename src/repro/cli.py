@@ -13,6 +13,9 @@
   runs a deterministic 1/n slice for scale-out across machines or CI jobs;
 * ``contra merge-results`` — union shard artifacts from a results directory
   into the exact report an unsharded run would have printed;
+* ``contra gc-results`` — garbage-collect a long-lived results directory:
+  drop records the scenario's current grid no longer defines and compact
+  torn/duplicate shard files into one;
 * ``contra policies`` — list the built-in Figure 3 policies.
 """
 
@@ -31,6 +34,7 @@ from repro.core.policies import ALL_POLICIES
 from repro.exceptions import ExperimentError
 from repro.experiments.config import config_from_env, default_config, full_config, quick_config
 from repro.experiments.registry import (
+    gc_scenario,
     merge_scenario,
     run_scenario,
     run_scenario_shard,
@@ -235,6 +239,21 @@ def _cmd_merge_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gc_results(args: argparse.Namespace) -> int:
+    config = _grid_config(args)
+    if not Path(args.results_dir).is_dir():
+        raise SystemExit(f"--results-dir: {args.results_dir} does not exist")
+    try:
+        summary = gc_scenario(args.name, config, args.results_dir)
+    except (KeyError, ExperimentError) as error:
+        raise SystemExit(str(error))
+    print(f"{args.name}: kept {summary['kept']} of {summary['total_records']} "
+          f"records ({summary['dropped_stale']} stale, "
+          f"{summary['dropped_duplicates']} duplicate(s) dropped); "
+          f"{summary['missing']} grid point(s) still missing")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="contra",
@@ -312,6 +331,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "the per-point compute records in the store "
                             "(for bench_diff tracking)")
     merge.set_defaults(func=_cmd_merge_results)
+
+    gc = sub.add_parser(
+        "gc-results",
+        help="drop stale records and compact shard files in a results store")
+    gc.add_argument("name", choices=tuple(scenario_names()))
+    gc.add_argument("--results-dir", metavar="DIR", required=True,
+                    help="the results store directory to garbage-collect")
+    gc.add_argument("--preset", choices=("quick", "default", "full", "env"),
+                    default="quick",
+                    help="the preset defining the scenario's *current* grid; "
+                         "records keyed outside it are dropped")
+    gc.add_argument("--transport", choices=TRANSPORT_MODES, default=None,
+                    help="must match the --transport the kept shards ran with")
+    gc.set_defaults(func=_cmd_gc_results)
     return parser
 
 

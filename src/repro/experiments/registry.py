@@ -57,6 +57,7 @@ from repro.experiments.results import (
     ResultsStore,
     ShardedBackend,
     collect_results,
+    gc_results,
 )
 from repro.experiments.runner import (
     RunResult,
@@ -74,6 +75,7 @@ __all__ = [
     "run_scenario",
     "run_scenario_shard",
     "merge_scenario",
+    "gc_scenario",
     "scenario_names",
     "shardable_scenario_names",
     "scenario_is_shardable",
@@ -263,6 +265,12 @@ SCENARIOS: Dict[str, Union[GridScenario,
     "fig11-k16": _fct_scenario("fig11-k16",
                                "Figure 11 at k=16: symmetric fat-tree FCT",
                                fattree_k=16),
+    # 1280 switches / 8192 hosts; run it sharded (`--shard i/n
+    # --results-dir D`) with a coarsened probe period — the slow test
+    # executes one Contra point of it under the micro config.
+    "fig11-k32": _fct_scenario("fig11-k32",
+                               "Figure 11 at k=32: symmetric fat-tree FCT",
+                               fattree_k=32),
     "fig12": _fct_scenario("fig12", "Figure 12: asymmetric fat-tree FCT",
                            asymmetric=True),
     "fig13": GridScenario(queue_cdf_specs, _fig13_finish),
@@ -364,6 +372,18 @@ def run_scenario_shard(name: str, config: ExperimentConfig, results_dir: str,
         results_path=str(store.path),
         wall_s=wall_s,
     )
+
+
+def gc_scenario(name: str, config: ExperimentConfig, results_dir: str) -> Dict[str, int]:
+    """Garbage-collect ``results_dir`` against the scenario's current grid.
+
+    Records whose spec hash the scenario (under this config) no longer
+    defines are dropped, duplicates and torn tails are compacted away, and
+    the survivors are rewritten as one shard file — see
+    :func:`repro.experiments.results.gc_results` for the exact contract.
+    """
+    entry = _grid_scenario(name)
+    return gc_results(entry.build_specs(config), results_dir)
 
 
 def merge_scenario(name: str, config: ExperimentConfig,

@@ -47,6 +47,7 @@ __all__ = [
     "ResultsStore",
     "ShardedBackend",
     "collect_results",
+    "gc_results",
     "parse_shard",
 ]
 
@@ -287,6 +288,79 @@ class ShardedBackend(ExecutionBackend):
         self.executed = len(todo)
         self.skipped = len(mine) - len(todo)
         return [completed[key] for key in hashes]
+
+
+def gc_results(specs: Sequence[ScenarioSpec], directory) -> Dict[str, int]:
+    """Garbage-collect a results directory against the current spec grid.
+
+    Long-lived stores accumulate records a scenario no longer defines (spec
+    or config drift re-keys every point), duplicate records from re-executed
+    resumes, and torn half-written tails from killed runs.  GC rewrites the
+    directory as **one** compacted shard file (``results-shard0of1.jsonl``)
+    containing exactly one record per *current* spec hash, in spec-grid
+    order, and removes the superseded shard files and their meta records.
+
+    Kept records are byte-preserved (including their ``point_wall_s``), so a
+    later :func:`collect_results` merge reads the same bytes; duplicate
+    records are verified identical first — a conflict raises rather than
+    silently picking a side.  Dropped-duplicate wall-clock history is
+    discarded with the duplicates (``total_wall_s`` afterwards counts one
+    execution per point).
+
+    Returns a summary: total records seen, records kept, stale records
+    dropped, duplicates dropped, and how many grid points remain missing.
+    """
+    store = ResultsStore(directory)
+    valid = [spec_hash(spec) for spec in specs]
+    valid_set = set(valid)
+    kept: Dict[str, dict] = {}
+    canonical: Dict[str, str] = {}
+    total = stale = duplicates = 0
+    for file, line_number, record in store._records():
+        total += 1
+        try:
+            key, payload = record["spec_hash"], record["result"]
+        except (KeyError, TypeError):
+            raise ExperimentError(
+                f"corrupt results record at {file}:{line_number}") from None
+        if key not in valid_set:
+            stale += 1
+            continue
+        serialized = json.dumps(payload, sort_keys=True)
+        if key in kept:
+            if canonical[key] != serialized:
+                raise ExperimentError(
+                    f"conflicting results for spec hash {key[:12]}… in {file}: "
+                    f"the store mixes records from incompatible runs")
+            duplicates += 1
+            continue
+        kept[key] = record
+        canonical[key] = serialized
+    compacted = store.directory / "results-shard0of1.jsonl"
+    staging = store.directory / ".gc-compact.tmp"
+    with staging.open("w", encoding="utf-8") as handle:
+        for key in valid:
+            record = kept.get(key)
+            if record is not None:
+                handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+    # Crash ordering: land the compacted file (atomic rename) *before*
+    # unlinking the superseded shards — a kill anywhere in between leaves a
+    # store that still holds every kept record (at worst alongside old shard
+    # files whose records the compacted file duplicates identically, which
+    # load() tolerates).  Deleting first would let a kill destroy the store.
+    staging.replace(compacted)
+    for file in sorted(store.directory.glob("results-*.jsonl")):
+        if file != compacted:
+            file.unlink()
+    for file in sorted(store.directory.glob("shard*.meta.json")):
+        file.unlink()
+    return {
+        "total_records": total,
+        "kept": len(kept),
+        "dropped_stale": stale,
+        "dropped_duplicates": duplicates,
+        "missing": len(specs) - len(kept),
+    }
 
 
 def collect_results(specs: Sequence[ScenarioSpec], store: ResultsStore) -> List[RunResult]:

@@ -355,6 +355,11 @@ class ScenarioSpec:
     #: uses the config's transport.  Pure data, so transport grids are plain
     #: spec grids with the full determinism contract.
     transport: Optional[str] = None
+    #: Receiver ACK coalescing: one cumulative ACK per this many in-order
+    #: segments (delayed-ACK analogue; out-of-order, duplicate and completing
+    #: segments always ACK immediately).  1 — the default — is the historical
+    #: one-ACK-per-segment wire behaviour, byte-identical to before the knob.
+    ack_every: int = 1
 
     # Traffic shape: Poisson flow arrivals ("flows"), N-to-1 fan-in flow
     # arrivals ("incast"), derangement-paired flow arrivals ("permutation"),
@@ -403,8 +408,9 @@ class ScenarioSpec:
 # ---------------------------------------------------------------- spec hashing
 
 #: Bumped whenever the canonical spec encoding changes shape, so stale results
-#: stores can never satisfy a lookup from a newer encoder.
-_SPEC_HASH_VERSION = 1
+#: stores can never satisfy a lookup from a newer encoder.  v2: ScenarioSpec
+#: gained ``ack_every``.
+_SPEC_HASH_VERSION = 2
 
 
 def canonical_spec(spec: ScenarioSpec) -> Dict:
@@ -592,6 +598,7 @@ class RunContext:
             util_window=config.util_window,
             stats=StatsCollector(record_paths=spec.record_paths),
             transport=spec.transport if spec.transport is not None else config.transport,
+            host_ack_every=spec.ack_every,
         )
 
         run_duration = spec.run_duration if spec.run_duration is not None \

@@ -14,7 +14,7 @@ each interpreting the switch's compiled :class:`~repro.core.device_config
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.analysis.decomposition import SubPolicy
 from repro.core.ast import Attr, PathContext, Policy, TupleExpr
@@ -23,7 +23,7 @@ from repro.core.compiler import CompiledPolicy
 from repro.core.device_config import DeviceConfig
 from repro.core.rank import INFINITY, Rank
 from repro.exceptions import SimulationError
-from repro.protocol.probe import ProbePayload, make_probe_packet, payload_from_packet
+from repro.protocol.probe import ProbePayload, make_probe_packet
 from repro.protocol.tables import (
     BestChoiceTable,
     ForwardingEntry,
@@ -138,13 +138,23 @@ class ContraRouting(RoutingLogic):
         # Hot-path caches.  Per subpolicy: the positions of its propagation
         # attributes inside the carried metric vector, so the isotonic key
         # f(pid, mv) is a plain tuple slice instead of a Rank construction.
-        self._prop_indices: Dict[int, Optional[Tuple[int, ...]]] = {}
+        # ``True`` marks the identity projection (propagation attrs == the
+        # carried vector, the figure-policy shape): the extended values tuple
+        # *is* the propagation key, no copy needed.
+        self._prop_indices: Dict[int, object] = {}
         for sub in self.subpolicies:
             try:
-                self._prop_indices[sub.pid] = tuple(
+                indices = tuple(
                     sub.carried_attrs.index(name) for name in sub.propagation_attrs)
+                self._prop_indices[sub.pid] = \
+                    True if indices == tuple(range(len(sub.carried_attrs))) else indices
             except ValueError:  # attr not carried: fall back to the slow path
                 self._prop_indices[sub.pid] = None
+        #: Interning pool for installed propagation keys: within one probe
+        #: round, thousands of entries share the handful of distinct metric
+        #: tuples, so installed rows reference one shared tuple each instead
+        #: of keeping a private copy alive per (destination, tag, pid) row.
+        self._prop_key_pool: Dict[Tuple[float, ...], Tuple[float, ...]] = {}
         # ECMP alternates are only sound when the propagation rank carries
         # the hop count: equal rank then implies equal path length, and a
         # cycle (which strictly increases ``len``) can never tie.  Without
@@ -157,6 +167,11 @@ class ContraRouting(RoutingLogic):
         self._fast_rank = _fast_rank_evaluator(self.compiled.policy)
         # Specialized per-names metric extenders (False = use the generic path).
         self._extenders: Dict[Tuple[str, ...], object] = {}
+        # Bound-method/attribute caches for the probe hot loop (instance
+        # constants; rebinding them per wave showed up in k=16 profiles).
+        self._transition_get = config.probe_transition.get
+        self._fwdt_lookup = self.fwdt.lookup
+        self._fwdt_install = self.fwdt.install
 
     # --------------------------------------------------------------- lifecycle
 
@@ -198,11 +213,15 @@ class ContraRouting(RoutingLogic):
 
         One packet object is shared by every target: probe packets are
         immutable in flight (only data packets are re-tagged or TTL-decremented),
-        so per-target copies would only burn allocations.
+        so per-target copies would only burn allocations — together with the
+        by-reference payload this keeps a probe round's allocations
+        O(accepted probes), not O(received).
         """
         packet = None
+        ports = self.switch.ports
+        split_horizon = self.system.split_horizon
         for neighbor in self.config.multicast_targets(payload.tag):
-            if exclude is not None and self.system.split_horizon and neighbor == exclude:
+            if exclude is not None and split_horizon and neighbor == exclude:
                 continue
             # Probes are still multicast towards believed-failed neighbours:
             # a failed link simply drops them, and their arrival after the
@@ -211,79 +230,129 @@ class ContraRouting(RoutingLogic):
             # both endpoints would wait forever for the other's probes.
             if packet is None:
                 packet = make_probe_packet(payload, self.switch.name, self._probe_bits)
-            self.switch.send_probe(packet, neighbor)
+            link = ports.get(neighbor)
+            if link is not None and not link.failed:
+                link.enqueue(packet)
 
     def on_probe(self, packet: Packet, inport: str) -> None:
         """PROCESSPROBE (Figure 7) with the versioning refinement of §5.1."""
-        self._last_probe_from[inport] = self.network.sim.now
-        if self._believed_failed.get(inport, False):
-            self._believed_failed[inport] = False
+        self.on_probe_batch((packet,), inport)
 
-        payload = payload_from_packet(packet)
-        local_tag = self.config.next_tag_for_probe(inport, payload.tag)
-        if local_tag is None:
-            return  # no product-graph edge: the probe is policy-irrelevant here
-        if payload.origin == self.switch.name:
-            return  # probes never advertise a destination back to itself
+    def on_probe_batch(self, packets: Sequence[Packet], inport: str) -> None:
+        """PROCESSPROBE over one same-tick probe run from ``inport``.
 
-        # UPDATEMVEC: fold in the traffic-direction link (this switch -> inport).
-        # Only the extended *values* tuple is computed up front; the metric
-        # vector object is materialized after the accept decision (about half
-        # of all received probes are rejected).
-        mv = payload.metrics
-        names = mv.names
-        link = self.switch.egress(inport)
-        extend = self._extenders.get(names)
-        if extend is None:
-            extend = _make_metric_extender(names) or False
-            self._extenders[names] = extend
+        Semantically identical to calling :meth:`on_probe` per packet in
+        order; the run shape lets the per-probe loop shed everything that is
+        constant across a wave from one inport: the clock read, the
+        probe-silence/failure-belief refresh, the ingress product-graph
+        transition table, the egress link object and the extender dispatch.
+        The per-probe work that remains is the accept decision itself (~90%
+        of probes in a converged fabric are rejected, so the reject path is
+        the hot path).
+        """
+        network = self.network
+        now = network.sim._now
+        self._last_probe_from[inport] = now
+        believed_failed = self._believed_failed
+        if believed_failed.get(inport, False):
+            believed_failed[inport] = False
+
+        switch = self.switch
+        my_name = switch.name
+        link = switch.ports.get(inport)
+        if link is None:
+            link = switch.egress(inport)        # raises the canonical error
         # The specialized extender reads the link's congestion directly; an
         # instance-level metric_values override (tests pin link metrics that
         # way) must keep winning over it.
-        if extend is not False and "metric_values" not in link.__dict__:
-            new_values = extend(mv, link)
-        else:
-            new_values = mv.extend(link.metric_values()).values
-        key: FwdKey = (payload.origin, local_tag, payload.pid)
-        entry = self.fwdt.lookup(key)
-        prop_key = self._propagation_key(payload.pid, names, new_values)
+        plain_link = "metric_values" not in link.__dict__
+        transition_get = self._transition_get
+        extenders = self._extenders
+        extenders_get = extenders.get
+        prop_indices_get = self._prop_indices.get
+        fwdt_lookup = self._fwdt_lookup
+        fwdt_install = self._fwdt_install
+        system = self.system
+        use_versioning = system.use_versioning
+        allow_alternates_get = self._allow_alternates.get
 
-        accept = False
-        if entry is None:
-            accept = True
-        elif not self.system.use_versioning:
-            # Ablation: unversioned distance-vector — accept purely on metric,
-            # plus staleness refresh so entries do not expire spuriously.
-            accept = (prop_key < entry.prop_key
-                      or self.network.sim.now - entry.updated_at > self.system.probe_period)
-        elif payload.version > entry.version:
-            accept = True            # newer round always replaces stale state (DSDV/Babel)
-        elif payload.version == entry.version and prop_key < entry.prop_key:
-            accept = True            # same round: keep the better path under f(pid, mv)
-        if not accept:
-            # An exact same-round tie is an ECMP sibling of the installed
-            # path: remember it as an alternate next hop (no re-multicast —
-            # the equal-metric flood already went out via the primary).
-            if entry is not None and prop_key == entry.prop_key and \
-                    inport != entry.next_hop and \
-                    self._allow_alternates.get(payload.pid, False) and \
-                    (not self.system.use_versioning or payload.version == entry.version):
-                entry.add_alternate(inport, payload.tag)
-            return
+        for packet in packets:
+            payload = packet.probe
+            tag = payload.tag
+            local_tag = transition_get((inport, tag))
+            if local_tag is None:
+                continue  # no product-graph edge: the probe is policy-irrelevant here
+            origin = payload.origin
+            if origin == my_name:
+                continue  # probes never advertise a destination back to itself
 
-        metrics = MetricVector._make(names, new_values)
-        new_entry = ForwardingEntry(
-            metrics=metrics,
-            next_tag=payload.tag,
-            next_hop=inport,
-            version=payload.version,
-            updated_at=self.network.sim.now,
-            prop_key=prop_key,
-            rank=self._rank_of(key, metrics),
-        )
-        self.fwdt.install(key, new_entry)
-        self._maybe_update_best(payload.origin, key, new_entry)
-        self._multicast(payload.advanced(local_tag, metrics), exclude=inport)
+            # UPDATEMVEC: fold in the traffic-direction link (this switch ->
+            # inport).  Only the extended *values* tuple is computed up front;
+            # the metric vector object is materialized after the accept
+            # decision.
+            mv = payload.metrics
+            names = mv.names
+            extend = extenders_get(names)
+            if extend is None:
+                extend = _make_metric_extender(names) or False
+                extenders[names] = extend
+            if extend is not False and plain_link:
+                new_values = extend(mv, link)
+            else:
+                new_values = mv.extend(link.metric_values()).values
+
+            pid = payload.pid
+            key: FwdKey = (origin, local_tag, pid)
+            entry = fwdt_lookup(key)
+            indices = prop_indices_get(pid)
+            if indices is True:
+                prop_key = new_values
+            elif indices is None:  # attrs outside the carried vector: slow path
+                prop_key = self.compiled.decomposition.subpolicy(pid) \
+                    .propagation_rank(MetricVector._make(names, new_values)).values
+            else:
+                prop_key = tuple([new_values[i] for i in indices])
+
+            version = payload.version
+            if entry is None:
+                pass                     # first word about this key: accept
+            elif not use_versioning:
+                # Ablation: unversioned distance-vector — accept purely on
+                # metric, plus staleness refresh so entries do not expire
+                # spuriously.
+                if not (prop_key < entry.prop_key
+                        or now - entry.updated_at > system.probe_period):
+                    if prop_key == entry.prop_key and inport != entry.next_hop \
+                            and allow_alternates_get(pid, False):
+                        entry.add_alternate(inport, tag)
+                    continue
+            elif version > entry.version:
+                pass                     # newer round always replaces stale state
+            elif version == entry.version and prop_key < entry.prop_key:
+                pass                     # same round: keep the better path under f
+            else:
+                # An exact same-round tie is an ECMP sibling of the installed
+                # path: remember it as an alternate next hop (no re-multicast
+                # — the equal-metric flood already went out via the primary).
+                if prop_key == entry.prop_key and inport != entry.next_hop and \
+                        version == entry.version and allow_alternates_get(pid, False):
+                    entry.add_alternate(inport, tag)
+                continue
+
+            metrics = MetricVector._make(names, new_values)
+            prop_key = self._prop_key_pool.setdefault(prop_key, prop_key)
+            new_entry = ForwardingEntry(
+                metrics=metrics,
+                next_tag=tag,
+                next_hop=inport,
+                version=version,
+                updated_at=now,
+                prop_key=prop_key,
+                rank=self._rank_of(key, metrics),
+            )
+            fwdt_install(key, new_entry)
+            self._maybe_update_best(origin, key, new_entry)
+            self._multicast(payload.advanced(local_tag, metrics), exclude=inport)
 
     # ------------------------------------------------------------ best choice
 
@@ -291,6 +360,8 @@ class ContraRouting(RoutingLogic):
                          values: Tuple[float, ...]) -> Tuple[float, ...]:
         """The isotonic propagation key f(pid, mv) as a raw comparable tuple."""
         indices = self._prop_indices.get(pid)
+        if indices is True:  # identity projection: the values tuple is the key
+            return values
         if indices is None:  # attrs outside the carried vector: slow path
             metrics = MetricVector._make(names, values)
             return self.compiled.decomposition.subpolicy(pid).propagation_rank(metrics).values
@@ -535,12 +606,45 @@ _EXTEND_OPS = {
 }
 
 
+def _extend_len_util(mv, link) -> Tuple[float, ...]:
+    """Unrolled extender for the ``(len, util)`` datacenter-policy shape."""
+    values = mv.values
+    return (values[0] + 1.0, max(values[1], link.congestion))
+
+
+def _extend_util_len(mv, link) -> Tuple[float, ...]:
+    values = mv.values
+    return (max(values[0], link.congestion), values[1] + 1.0)
+
+
+def _extend_util(mv, link) -> Tuple[float, ...]:
+    """Unrolled extender for the pure-``util`` WAN-policy shape."""
+    return (max(mv.values[0], link.congestion),)
+
+
+def _extend_lat(mv, link) -> Tuple[float, ...]:
+    return (mv.values[0] + link.latency,)
+
+
+#: Unrolled extenders for the metric shapes every figure policy uses — no
+#: generator or per-attribute closure dispatch on the hot path.
+_UNROLLED_EXTENDERS = {
+    ("len", "util"): _extend_len_util,
+    ("util", "len"): _extend_util_len,
+    ("util",): _extend_util,
+    ("lat",): _extend_lat,
+}
+
+
 def _make_metric_extender(names: Tuple[str, ...]):
     """A specialized ``(metric vector, link) -> extended values tuple`` extender.
 
     Returns None when a name falls outside the built-in attribute set, in
     which case the caller uses the generic dict-based path.
     """
+    unrolled = _UNROLLED_EXTENDERS.get(names)
+    if unrolled is not None:
+        return unrolled
     try:
         ops = tuple((index, _EXTEND_OPS[name]) for index, name in enumerate(names))
     except KeyError:

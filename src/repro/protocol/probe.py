@@ -9,27 +9,50 @@ probe currently sits at, and the accumulated *metric vector*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.core.attributes import MetricVector
 from repro.simulator.packet import BASE_PROBE_BYTES, Packet, PacketKind
 
 __all__ = ["ProbePayload", "make_probe_packet", "payload_from_packet"]
 
 
-@dataclass(frozen=True)
 class ProbePayload:
-    """The Contra-specific contents of one probe packet."""
+    """The Contra-specific contents of one probe packet.
 
-    origin: str
-    pid: int
-    version: int
-    tag: int
-    metrics: MetricVector
+    A plain slotted class rather than a (frozen) dataclass: one payload is
+    allocated per *accepted* probe hop — the hottest allocation site of a
+    probe round — and the frozen-dataclass ``object.__setattr__`` init costs
+    several times a plain ``__init__``.  Payloads are immutable by
+    convention: they ride by reference in multicast packets shared across
+    links, so mutating one would corrupt every in-flight copy.
+    """
+
+    __slots__ = ("origin", "pid", "version", "tag", "metrics")
+
+    def __init__(self, origin: str, pid: int, version: int, tag: int,
+                 metrics: MetricVector):
+        self.origin = origin
+        self.pid = pid
+        self.version = version
+        self.tag = tag
+        self.metrics = metrics
 
     def advanced(self, tag: int, metrics: MetricVector) -> "ProbePayload":
         """A copy with an updated tag and metric vector (one hop of propagation)."""
         return ProbePayload(self.origin, self.pid, self.version, tag, metrics)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ProbePayload):
+            return NotImplemented
+        return (self.origin == other.origin and self.pid == other.pid
+                and self.version == other.version and self.tag == other.tag
+                and self.metrics == other.metrics)
+
+    def __hash__(self) -> int:
+        return hash((self.origin, self.pid, self.version, self.tag, self.metrics))
+
+    def __repr__(self) -> str:
+        return (f"ProbePayload(origin={self.origin!r}, pid={self.pid}, "
+                f"version={self.version}, tag={self.tag}, metrics={self.metrics})")
 
 
 def make_probe_packet(payload: ProbePayload, src_switch: str, payload_bits: int) -> Packet:

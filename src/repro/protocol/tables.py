@@ -130,16 +130,16 @@ class ForwardingTable:
 
 
 class BestChoiceTable:
-    """BestT: per-destination pointer to the overall best FwdT key."""
+    """BestT: per-destination tuple of the co-best (equal-rank) FwdT keys."""
 
     def __init__(self) -> None:
-        self._best: Dict[str, FwdKey] = {}
+        self._best: Dict[str, Tuple[FwdKey, ...]] = {}
 
-    def get(self, destination: str) -> Optional[FwdKey]:
+    def get(self, destination: str) -> Optional[Tuple[FwdKey, ...]]:
         return self._best.get(destination)
 
-    def set(self, destination: str, key: FwdKey) -> None:
-        self._best[destination] = key
+    def set(self, destination: str, keys: Tuple[FwdKey, ...]) -> None:
+        self._best[destination] = keys
 
     def clear(self, destination: str) -> None:
         self._best.pop(destination, None)
@@ -164,11 +164,33 @@ class FlowletTable:
     switching *policy-aware*: a preference change that re-tags packets starts
     a fresh flowlet entry instead of reusing a pin that would violate the
     policy.
+
+    Expiry is **lazy**: :meth:`lookup` drops an expired entry on touch, and a
+    high-water-mark sweep (:meth:`_sweep`, triggered from :meth:`install`)
+    reclaims entries whose flows ended and are never touched again — without
+    it the table grows monotonically with every (destination, flowlet) pair a
+    run ever pins, which is what made large fabrics accumulate unbounded
+    switch state.  The sweep removes only entries :meth:`lookup` would
+    already refuse to return, so forwarding decisions are unaffected, and it
+    is amortized O(1) per install (the threshold doubles with the surviving
+    live set, classic table-halving style).
     """
 
-    def __init__(self, timeout: float, slots: int = 1024):
+    #: Default sweep threshold floor; per-table the trigger is
+    #: ``max(high_water, 2 * live entries after the last sweep)``.
+    DEFAULT_HIGH_WATER = 4096
+
+    def __init__(self, timeout: float, slots: int = 1024,
+                 sweep_high_water: Optional[int] = None):
         self.timeout = timeout
         self.slots = slots
+        self.sweep_high_water = (sweep_high_water if sweep_high_water is not None
+                                 else self.DEFAULT_HIGH_WATER)
+        self._sweep_at = self.sweep_high_water
+        #: Entries reclaimed by high-water sweeps (observability/tests only;
+        #: swept entries are *not* flowlet expirations in the stats sense —
+        #: they were already dead to every lookup).
+        self.swept_entries = 0
         self._entries: Dict[Tuple[str, int, int, int], FlowletEntry] = {}
 
     def flowlet_id(self, flow_key: Tuple) -> int:
@@ -189,9 +211,22 @@ class FlowletTable:
 
     def install(self, destination: str, tag: int, pid: int, fid: int,
                 next_hop: str, next_tag: int, now: float) -> FlowletEntry:
+        if len(self._entries) >= self._sweep_at:
+            self._sweep(now)
         entry = FlowletEntry(next_hop, next_tag, now)
         self._entries[(destination, tag, pid, fid)] = entry
         return entry
+
+    def _sweep(self, now: float) -> None:
+        """Reclaim every expired entry (high-water-mark memory bound)."""
+        timeout = self.timeout
+        entries = self._entries
+        expired = [key for key, entry in entries.items()
+                   if now - entry.last_seen > timeout]
+        for key in expired:
+            del entries[key]
+        self.swept_entries += len(expired)
+        self._sweep_at = max(self.sweep_high_water, 2 * len(entries))
 
     def touch(self, entry: FlowletEntry, now: float) -> None:
         entry.last_seen = now

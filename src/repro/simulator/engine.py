@@ -7,8 +7,17 @@ sequence number also breaks ties so that events scheduled earlier run earlier,
 which keeps runs bit-for-bit reproducible for a given seed — a property every
 experiment in EXPERIMENTS.md relies on.
 
-Three scheduling tiers exist, from hottest to most featureful:
+Four scheduling tiers exist, from hottest to most featureful:
 
+* :meth:`Simulator.call_batched` — the batch lane: same-timestamp
+  registrations coalesce under **one** heap entry whose members run in exact
+  FIFO registration order.  The probe control plane uses this tier — a probe
+  wave of thousands of same-tick deliveries costs one heap push and one pop
+  instead of one each per probe.  Ordering contract: scheduling any
+  *non-lane* event at the open batch's timestamp seals the batch (later lane
+  registrations at that time start a new entry), so the relative order of
+  lane and non-lane events at one timestamp is exactly what per-event
+  scheduling would have produced.
 * :meth:`Simulator.call_later` / :meth:`Simulator.call_at` — the fast path:
   no per-event wrapper object is allocated and the event cannot be cancelled.
   The per-packet machinery (link serialization, delivery) uses this tier.
@@ -29,7 +38,12 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.exceptions import SimulationError
 
-__all__ = ["Simulator", "Event", "PeriodicEvent"]
+__all__ = ["Simulator", "Event", "PeriodicEvent", "BATCH_LANE_DEFAULT"]
+
+#: Process-wide default for the batch lane.  Tests force-disable it (each
+#: lane registration then becomes its own heap entry, reproducing the
+#: pre-batching event schedule exactly) to prove batching changes nothing.
+BATCH_LANE_DEFAULT = True
 
 
 class Event:
@@ -99,7 +113,7 @@ class PeriodicEvent:
 class Simulator:
     """The event loop shared by every component of one simulation run."""
 
-    def __init__(self) -> None:
+    def __init__(self, batching: Optional[bool] = None) -> None:
         self._now = 0.0
         #: heap of (time, seq, callback, args); seq is unique so comparisons
         #: never inspect the callback.
@@ -109,6 +123,14 @@ class Simulator:
         self._stopped = False
         #: heap entries whose handle was cancelled but that still await expiry.
         self._cancelled = 0
+        #: Batch lane state: the timestamp of the currently open batch (-1.0
+        #: when none), its member list (shared with the heap entry), and the
+        #: member/entry counters that keep ``pending_events`` exact.
+        self._batching = BATCH_LANE_DEFAULT if batching is None else batching
+        self._batch_time = -1.0
+        self._batch: Optional[List] = None
+        self._batch_pending = 0
+        self._batch_entries = 0
 
     @property
     def now(self) -> float:
@@ -122,12 +144,19 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Events scheduled and not cancelled (O(1); no heap scan)."""
-        return len(self._queue) - self._cancelled
+        """Events scheduled and not cancelled (O(1); no heap scan).
+
+        A coalesced batch entry counts once per member, so the number is
+        identical with the batch lane on or off.
+        """
+        return (len(self._queue) - self._cancelled - self._batch_entries
+                + self._batch_pending)
 
     # ------------------------------------------------------------- scheduling
 
     def _push(self, time: float, callback: Callable[..., None], args: Tuple) -> None:
+        if time == self._batch_time:
+            self._batch_time = -1.0     # seal: preserve order vs lane members
         seq = self._sequence
         self._sequence = seq + 1
         heapq.heappush(self._queue, (time, seq, callback, args))
@@ -136,18 +165,66 @@ class Simulator:
         """Fast path: schedule a non-cancellable ``callback(*args)`` after ``delay`` ms."""
         if delay < 0:
             raise SimulationError(f"cannot schedule an event {delay} ms in the past")
+        time = self._now + delay
+        if time == self._batch_time:
+            self._batch_time = -1.0
         seq = self._sequence
         self._sequence = seq + 1
-        heapq.heappush(self._queue, (self._now + delay, seq, callback, args))
+        heapq.heappush(self._queue, (time, seq, callback, args))
 
     def call_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
         """Fast path: schedule a non-cancellable ``callback(*args)`` at an absolute time."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule an event at {time} ms, current time is {self._now} ms")
+        if time == self._batch_time:
+            self._batch_time = -1.0
         seq = self._sequence
         self._sequence = seq + 1
         heapq.heappush(self._queue, (time, seq, callback, args))
+
+    def call_batched(self, time: float, callback: Callable[..., None], key: Any,
+                     arg: Any) -> None:
+        """Batch lane: schedule ``callback(key, args)`` at an absolute time.
+
+        Same-timestamp lane registrations coalesce under one heap entry and
+        execute in exact FIFO registration order when it pops.  Consecutive
+        registrations with the same ``(callback, key)`` additionally merge
+        into a single call receiving the list of their ``arg`` values — the
+        links use this to turn a same-arrival-time probe wave into one
+        delivery call per ``(link, tick)`` run.  ``key`` rides along so a
+        callback can version its batch (links pass their fail epoch: a
+        mid-tick failure naturally splits the run).
+
+        Ordering contract: scheduling any *non-lane* event at the open
+        batch's timestamp seals it, so relative order against non-lane events
+        is exactly what per-event scheduling produces.  With the lane
+        disabled each registration is its own heap entry carrying a
+        single-member list — byte-identical schedules either way.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule an event at {time} ms, current time is {self._now} ms")
+        if not self._batching:
+            self._push(time, callback, (key, [arg]))
+            return
+        if time != self._batch_time:
+            members: List = []
+            self._batch = members
+            self._batch_time = time
+            seq = self._sequence
+            self._sequence = seq + 1
+            heapq.heappush(self._queue, (time, seq, _fire_batch, (self, members)))
+            self._batch_entries += 1
+        else:
+            members = self._batch
+            tail = members[-1]
+            if tail[0] is callback and tail[1] == key:
+                tail[2].append(arg)
+                self._batch_pending += 1
+                return
+        members.append((callback, key, [arg]))
+        self._batch_pending += 1
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule a cancellable ``callback(*args)`` to run ``delay`` ms from now."""
@@ -187,6 +264,11 @@ class Simulator:
 
         The boundary is inclusive: ``run(until=t)`` processes every event with
         time ``<= t`` and leaves the clock at exactly ``t`` (never beyond).
+
+        ``max_events`` counts heap entries, so a coalesced batch-lane entry —
+        however many registrations it carries — consumes one unit; it is a
+        debugging stepper, not part of the batching equivalence contract
+        (``events_processed``/``pending_events`` stay per-registration).
         """
         self._stopped = False
         queue = self._queue
@@ -210,6 +292,11 @@ class Simulator:
             processed_this_call += 1
             if max_events is not None and processed_this_call >= max_events:
                 break
+        if self._stopped:
+            # A stop during a batch member re-queues the unrun tail; make sure
+            # a stale open-batch pointer cannot absorb later registrations
+            # ahead of it.
+            self._batch_time = -1.0
         if until is not None and not queue:
             self._now = max(self._now, until)
         return self._now
@@ -222,3 +309,33 @@ def _fire_handle(handle) -> None:
     entries without executing, advancing the clock, or counting an event.
     """
     handle._fire()
+
+
+def _fire_batch(sim: "Simulator", members: List) -> None:
+    """Execute one coalesced batch entry's members in FIFO order.
+
+    Each member is ``(callback, key, args)`` and fires as ``callback(key,
+    args)``; ``args`` holds every merged registration of a consecutive
+    ``(callback, key)`` run, so event accounting counts registrations, not
+    members — ``events_processed`` and ``pending_events`` read identically
+    with the lane on or off.  A ``stop()`` raised by a member re-queues the
+    unrun tail at the same timestamp (exactly the entries per-event
+    scheduling would have left in the heap).
+    """
+    if members is sim._batch:
+        sim._batch_time = -1.0
+        sim._batch = None
+    sim._batch_entries -= 1
+    fired = 0
+    for index, (callback, key, args) in enumerate(members):
+        callback(key, args)
+        fired += len(args)
+        if sim._stopped and index + 1 < len(members):
+            rest = members[index + 1:]
+            seq = sim._sequence
+            sim._sequence = seq + 1
+            heapq.heappush(sim._queue, (sim._now, seq, _fire_batch, (sim, rest)))
+            sim._batch_entries += 1
+            break
+    sim._batch_pending -= fired
+    sim._events_processed += fired - 1      # the run loop adds the final 1

@@ -15,6 +15,16 @@ Delivery accounting distinguishes *goodput* from raw throughput: the host
 asks the receiver state whether a data segment is a first-time delivery
 before recording it, so go-back-N duplicates never inflate the goodput
 series (see :meth:`repro.simulator.stats.StatsCollector.record_delivery`).
+
+ACK generation supports opt-in **coalescing** (``ack_every > 1``, the
+delayed-ACK analogue): back-to-back in-order deliveries of one flow
+accumulate until ``ack_every`` new segments are covered, then one cumulative
+ACK acknowledges the whole run.  Anything that transport correctness depends
+on still ACKs immediately — an out-of-order or duplicate segment (duplicate
+ACKs drive fast retransmit) and flow completion — and a held ACK is flushed
+by a short timer so a stalled sender window cannot deadlock.  The default
+``ack_every=1`` keeps the historical one-ACK-per-segment wire behaviour
+byte-identical.
 """
 
 from __future__ import annotations
@@ -34,6 +44,11 @@ __all__ = ["Host"]
 class Host:
     """A traffic endpoint attached to one edge switch."""
 
+    #: Delay (ms) before a held coalesced ACK is flushed if no further
+    #: delivery triggers it — a few serialization times, so a sender whose
+    #: window stalls on a held ACK resumes well before any RTO fires.
+    ACK_FLUSH_DELAY = 0.2
+
     def __init__(
         self,
         network: "Network",
@@ -41,6 +56,7 @@ class Host:
         window: int = 12,
         rto: float = 5.0,
         transport: str = "fixed",
+        ack_every: int = 1,
     ):
         self.network = network
         self.sim = network.sim
@@ -49,10 +65,14 @@ class Host:
         self.window = window
         self.rto = rto
         self.transport = transport
+        self.ack_every = max(1, int(ack_every))
 
         self.uplink = None  # type: ignore[assignment]  # set by Network wiring
         self._senders: Dict[int, SenderState] = {}
         self._receivers: Dict[int, ReceiverState] = {}
+        #: Coalesced-ACK state per receiving flow: [last acked seq sent on the
+        #: wire, flush-timer armed?].  Only populated when ``ack_every > 1``.
+        self._held_acks: Dict[int, list] = {}
         self._streams: Dict[int, dict] = {}
         self._stream_counter = 0
 
@@ -209,27 +229,68 @@ class Host:
             # no ACKs, no completion tracking.
             self.stats.record_delivery(packet, self.sim.now)
             return
-        receiver = self._receivers.get(packet.flow_id)
+        flow_id = packet.flow_id
+        receiver = self._receivers.get(flow_id)
         if receiver is None:
-            receiver = ReceiverState(packet.flow_id, packet.src_host)
-            self._receivers[packet.flow_id] = receiver
+            receiver = ReceiverState(flow_id, packet.src_host)
+            self._receivers[flow_id] = receiver
         self.stats.record_delivery(packet, self.sim.now,
                                    duplicate=receiver.has_seen(packet.seq))
-        total = self.stats.flows[packet.flow_id].size_packets if packet.flow_id in self.stats.flows \
+        total = self.stats.flows[flow_id].size_packets if flow_id in self.stats.flows \
             else packet.seq + 1
+        previous_ack = receiver.cumulative_ack
         ack_seq = receiver.on_data(packet.seq, total)
         if receiver.completed:
-            self.stats.complete_flow(packet.flow_id, self.sim.now)
-        ack = Packet(
+            self.stats.complete_flow(flow_id, self.sim.now)
+        if self.ack_every > 1:
+            # Coalescing applies only to in-order progress on an incomplete
+            # flow; out-of-order and duplicate segments must produce their
+            # duplicate ACK immediately (fast retransmit depends on them) and
+            # the completing segment must not wait on a flush timer.
+            if ack_seq > previous_ack and not receiver.completed:
+                state = self._held_acks.get(flow_id)
+                if state is None:
+                    state = self._held_acks[flow_id] = [previous_ack, False]
+                if ack_seq - state[0] < self.ack_every:
+                    if not state[1]:
+                        state[1] = True
+                        self.sim.call_later(self.ACK_FLUSH_DELAY,
+                                            self._flush_held_ack, flow_id)
+                    return
+                state[0] = ack_seq
+            elif receiver.completed:
+                self._held_acks.pop(flow_id, None)
+            else:
+                state = self._held_acks.get(flow_id)
+                if state is not None:
+                    # The immediate (duplicate) ACK also covers any held run.
+                    state[0] = ack_seq
+        self._send_ack(flow_id, packet.src_host, ack_seq)
+
+    def _send_ack(self, flow_id: int, dst_host: str, ack_seq: int) -> None:
+        self._transmit(Packet(
             kind=PacketKind.ACK,
             src_host=self.name,
-            dst_host=packet.src_host,
-            flow_id=packet.flow_id,
+            dst_host=dst_host,
+            flow_id=flow_id,
             ack_seq=ack_seq,
             size_bytes=ACK_PACKET_BYTES,
             created_at=self.sim.now,
-        )
-        self._transmit(ack)
+        ))
+
+    def _flush_held_ack(self, flow_id: int) -> None:
+        """Send a held coalesced ACK if no later delivery already covered it."""
+        state = self._held_acks.get(flow_id)
+        if state is None:
+            return
+        state[1] = False
+        receiver = self._receivers.get(flow_id)
+        if receiver is None:
+            return
+        ack_seq = receiver.cumulative_ack
+        if ack_seq > state[0] and not receiver.completed:
+            state[0] = ack_seq
+            self._send_ack(flow_id, receiver.src_host, ack_seq)
 
     def _receive_ack(self, packet: Packet) -> None:
         sender = self._senders.get(packet.flow_id)

@@ -15,12 +15,20 @@ only when a backlog exists does the link additionally keep a single *drain*
 event alive that pulls the next packet off the queue when the serializer
 frees up — so an uncongested link schedules one event per packet, and a
 congested one two, regardless of how many packets pile up behind.
+
+Probes ride the engine's **batch lane**: a whole same-arrival-time probe wave
+coalesces under one heap entry, and consecutive same-``(link, tick)`` probes
+merge into one delivery call carrying the packet run (the registered fail
+epoch is the batch key, so a mid-tick failure splits the run).  FIFO order —
+within a link and across links — is exactly the per-event order; the lane
+only removes heap traffic, never reorders (see the engine's ordering
+contract).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional, TYPE_CHECKING
+from typing import Callable, Deque, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.simulator.packet import DATA_PACKET_BYTES, Packet
 
@@ -45,6 +53,7 @@ class SimLink:
         deliver: Optional[Callable[[Packet, str], None]] = None,
         stats: Optional["StatsCollector"] = None,
         util_window: float = 1.0,
+        deliver_batch: Optional[Callable[[Sequence[Packet], str], None]] = None,
     ):
         self.sim = sim
         self.src = src
@@ -53,6 +62,12 @@ class SimLink:
         self.latency = float(latency)            # ms
         self.buffer_packets = int(buffer_packets)
         self.deliver = deliver                   # callback(packet, inport=src)
+        #: Optional vectorized probe sink — callback(packets, inport=src) for
+        #: one same-tick probe run; None falls back to per-packet ``deliver``.
+        self.deliver_batch = deliver_batch
+        #: Stable bound-method reference for the engine's batch lane (the lane
+        #: merges consecutive registrations by callback *identity*).
+        self._deliver_probe_run = self._deliver_probe_batch
         self.stats = stats
         self.util_window = float(util_window)    # ms, EWMA window for utilization
 
@@ -70,6 +85,15 @@ class SimLink:
         # Utilization estimator state.
         self._util = 0.0
         self._last_util_update = 0.0
+        #: Congestion memo: probe waves read the same link's congestion many
+        #: times within one tick.  The quantized value is a pure function of
+        #: (now, transmissions so far, queue length) along a deterministic
+        #: run, so caching on that key returns bit-identical floats while
+        #: skipping the EWMA decay + quantization arithmetic.
+        self._congestion_now = -1.0
+        self._congestion_sent = -1
+        self._congestion_qlen = -1
+        self._congestion_value = 0.0
 
         # Counters.
         self.packets_sent = 0
@@ -95,14 +119,18 @@ class SimLink:
             # standard treatment for in-band control traffic — Hula and
             # Contra both assume probes are not delayed behind full data
             # queues).  They are modelled as never occupying the data
-            # serializer: one event delivers the probe after its own
+            # serializer: the delivery fires after the probe's own
             # serialization + propagation delay, and its wire time still
-            # feeds the utilization estimator and the byte accounting.
+            # feeds the utilization estimator and the byte accounting.  The
+            # whole same-tick probe wave shares one engine heap entry (batch
+            # lane), with this link's consecutive probes merged into a single
+            # delivery call.
+            sim = self.sim
             wire_bytes = packet.size_bytes + packet.extra_header_bits * 0.125
             tx_time = wire_bytes / DATA_PACKET_BYTES / self.capacity
-            self._record_transmission(packet, tx_time, wire_bytes)
-            self.sim.call_at(self.sim.now + tx_time + self.latency,
-                             self._deliver_packet, packet, self._fail_epoch)
+            self._record_probe_transmission(tx_time, wire_bytes)
+            sim.call_batched(sim._now + tx_time + self.latency,
+                             self._deliver_probe_run, self._fail_epoch, packet)
             return True
         if len(self._queue) >= self.buffer_packets:
             self.packets_dropped += 1
@@ -146,6 +174,26 @@ class SimLink:
         if self.deliver is not None and not self.failed and epoch == self._fail_epoch:
             self.deliver(packet, self.src)
 
+    def _deliver_probe_batch(self, epoch: int, packets: List[Packet]) -> None:
+        """Deliver one coalesced ``(link, tick)`` probe run (batch-lane sink).
+
+        All packets in the run were registered under the same fail epoch (the
+        lane's batch key), so one epoch check covers the run.  The vectorized
+        ``deliver_batch`` sink gets the run as-is; without one, delivery
+        degrades to the per-packet callback in the same order.
+        """
+        if self.failed or epoch != self._fail_epoch:
+            return
+        deliver_batch = self.deliver_batch
+        if deliver_batch is not None:
+            deliver_batch(packets, self.src)
+            return
+        deliver = self.deliver
+        if deliver is not None:
+            src = self.src
+            for packet in packets:
+                deliver(packet, src)
+
     # ----------------------------------------------------------- utilization
 
     def _record_transmission(self, packet: Packet, tx_time: float,
@@ -168,6 +216,26 @@ class SimLink:
                 stats.probe_bytes += wire_bytes
         self._decay_util()
         # Each transmission contributes its busy time over the averaging window.
+        self._util = min(1.5, self._util + tx_time / self.util_window)
+
+    def _record_probe_transmission(self, tx_time: float, wire_bytes: float) -> None:
+        """Probe-lane variant of :meth:`_record_transmission` (no kind dispatch).
+
+        Identical arithmetic in identical order; the EWMA decay is inlined so
+        the per-probe cost is one clock read plus the accumulator updates.
+        """
+        self.packets_sent += 1
+        self.bytes_sent += wire_bytes
+        stats = self.stats
+        if stats is not None:
+            stats.total_packets += 1
+            stats.probe_bytes += wire_bytes
+        now = self.sim._now
+        elapsed = now - self._last_util_update
+        if elapsed > 0:
+            decay = 1.0 - elapsed / self.util_window
+            self._util *= decay if decay > 0.0 else 0.0
+            self._last_util_update = now
         self._util = min(1.5, self._util + tx_time / self.util_window)
 
     def _decay_util(self) -> None:
@@ -218,10 +286,21 @@ class SimLink:
         has, exactly like the utilization register (cf. the
         flowlet-timeout/util-window tail interaction of Figure 13).
         """
-        backlog = len(self._queue) / (self.capacity * self.util_window)
+        now = self.sim._now
+        sent = self.packets_sent
+        qlen = len(self._queue)
+        if now == self._congestion_now and sent == self._congestion_sent \
+                and qlen == self._congestion_qlen:
+            return self._congestion_value
+        backlog = qlen / (self.capacity * self.util_window)
         value = min(1.0, self._util_now()) + backlog
         quantum = self.UTIL_QUANTUM
-        return round(value * quantum) / quantum
+        value = round(value * quantum) / quantum
+        self._congestion_now = now
+        self._congestion_sent = sent
+        self._congestion_qlen = qlen
+        self._congestion_value = value
+        return value
 
     def _util_now(self) -> float:
         self._decay_util()

@@ -62,10 +62,14 @@ class Network:
         util_window: float = 1.0,
         stats: Optional[StatsCollector] = None,
         transport: str = "fixed",
+        host_ack_every: int = 1,
     ):
         if transport not in TRANSPORT_MODES:
             raise SimulationError(
                 f"unknown transport mode {transport!r}; available: {TRANSPORT_MODES}")
+        if host_ack_every < 1:
+            raise SimulationError(
+                f"host_ack_every must be >= 1, got {host_ack_every}")
         self.topology = topology
         self.routing_system = routing_system
         self.sim = Simulator()
@@ -81,6 +85,7 @@ class Network:
 
         self._host_window = host_window
         self._host_rto = host_rto
+        self._host_ack_every = host_ack_every
         self._pending_failures: List[Tuple[float, str, str]] = []
         self._scheduled_flows = 0
         self._build()
@@ -91,7 +96,8 @@ class Network:
         for host_name in self.topology.hosts:
             self.hosts[host_name] = Host(self, host_name,
                                          window=self._host_window, rto=self._host_rto,
-                                         transport=self.transport)
+                                         transport=self.transport,
+                                         ack_every=self._host_ack_every)
         for switch_name in self.topology.switches:
             logic = self.routing_system.create_switch_logic(switch_name)
             self.switches[switch_name] = SwitchNode(self, switch_name, logic)
@@ -109,6 +115,10 @@ class Network:
                 deliver=dst_node.receive,
                 stats=self.stats,
                 util_window=self.util_window,
+                # Coalesced probe runs go straight to the switch's vectorized
+                # entry point (hosts never receive probes; the per-packet
+                # fallback silently ignores any that reach one).
+                deliver_batch=getattr(dst_node, "receive_probe_batch", None),
             )
             self.links[(link.src, link.dst)] = sim_link
             if link.src in self.switches:

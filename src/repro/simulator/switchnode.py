@@ -9,7 +9,7 @@ system provides the per-switch data-plane program.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.exceptions import SimulationError
 from repro.simulator.packet import Packet
@@ -43,6 +43,18 @@ class RoutingLogic:
 
     def on_probe(self, packet: Packet, inport: str) -> None:
         """Handle a control probe.  Optional (static systems ignore probes)."""
+
+    def on_probe_batch(self, packets: Sequence[Packet], inport: str) -> None:
+        """Handle one same-arrival-tick probe run from ``inport``, in FIFO order.
+
+        The links hand over coalesced ``(link, tick)`` probe runs; protocols
+        with a vectorized fast path (Contra) override this to hoist per-run
+        invariants out of the per-probe loop.  The default preserves exact
+        per-probe semantics.
+        """
+        on_probe = self.on_probe
+        for packet in packets:
+            on_probe(packet, inport)
 
     def on_link_change(self, neighbor: str, failed: bool) -> None:
         """Notification that the link towards ``neighbor`` failed or recovered."""
@@ -90,6 +102,10 @@ class SwitchNode:
         return link is None or link.failed
 
     # ----------------------------------------------------------------- receive
+
+    def receive_probe_batch(self, packets: Sequence[Packet], inport: str) -> None:
+        """Vectorized entry point for one coalesced same-tick probe run."""
+        self.routing.on_probe_batch(packets, inport)
 
     def receive(self, packet: Packet, inport: str) -> None:
         """Entry point for packets delivered by an ingress link."""

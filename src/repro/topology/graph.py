@@ -88,6 +88,12 @@ class Topology:
         self._nodes: Dict[str, str] = {}              # node -> kind
         self._links: Dict[Tuple[str, str], Link] = {}  # directed
         self._host_attachment: Dict[str, str] = {}     # host -> switch
+        #: Lazily built adjacency index (node -> sorted out-neighbors).
+        #: Without it every ``neighbors`` call scans all links, which turns
+        #: the compiler's all-pairs passes (``max_rtt``, shortest paths) into
+        #: O(V·V·E) and dominates compile time beyond a few hundred switches.
+        self._neighbor_index: Dict[str, List[str]] = {}
+        self._neighbor_index_built = False
 
     # ------------------------------------------------------------------ nodes
 
@@ -178,6 +184,7 @@ class Topology:
             if (b, a) in self._links:
                 raise TopologyError(f"duplicate link {b!r} -> {a!r}")
             self._links[(b, a)] = Link(b, a, capacity=capacity, latency=latency, weight=weight)
+        self._invalidate_neighbor_index()
 
     def remove_link(self, a: str, b: str, bidirectional: bool = True) -> None:
         """Remove the link(s) between ``a`` and ``b``."""
@@ -186,6 +193,12 @@ class Topology:
         del self._links[(a, b)]
         if bidirectional and (b, a) in self._links:
             del self._links[(b, a)]
+        self._invalidate_neighbor_index()
+
+    def _invalidate_neighbor_index(self) -> None:
+        if self._neighbor_index_built:
+            self._neighbor_index = {}
+            self._neighbor_index_built = False
 
     def has_link(self, a: str, b: str) -> bool:
         return (a, b) in self._links
@@ -215,14 +228,27 @@ class Topology:
         return result
 
     def neighbors(self, node: str) -> List[str]:
-        """Nodes reachable from ``node`` over a single directed link."""
+        """Nodes reachable from ``node`` over a single directed link (sorted)."""
         if node not in self._nodes:
             raise TopologyError(f"unknown node {node!r}")
-        return sorted(dst for (src, dst) in self._links if src == node)
+        if not self._neighbor_index_built:
+            index: Dict[str, List[str]] = {}
+            for (src, dst) in self._links:
+                index.setdefault(src, []).append(dst)
+            for out in index.values():
+                out.sort()
+            self._neighbor_index = index
+            self._neighbor_index_built = True
+        cached = self._neighbor_index.get(node)
+        # Callers own the returned list (the historical contract returned a
+        # fresh list per call), so hand out a copy of the index row.
+        return list(cached) if cached is not None else []
 
     def switch_neighbors(self, node: str) -> List[str]:
         """Neighboring switches of ``node`` (hosts excluded)."""
-        return [n for n in self.neighbors(node) if self.is_switch(n)]
+        is_switch = self._nodes.get
+        return [n for n in self.neighbors(node)
+                if is_switch(n) in NodeKind.SWITCH_ROLES]
 
     def degree(self, node: str) -> int:
         return len(self.neighbors(node))
