@@ -101,6 +101,21 @@ class CompiledPolicy:
         except KeyError:
             raise CompilationError(f"no device configuration for switch {switch!r}") from None
 
+    def switch_ids(self) -> Dict[str, int]:
+        """Dense, deterministic interning of every switch name to an integer id.
+
+        The array probe plane indexes its per-switch FwdT snapshot arrays by
+        (origin id, tag, pid); ids are assigned once per compiled policy in
+        sorted-name order, so every switch — and every probe payload stamped
+        at origination — agrees on the same interning for the lifetime of the
+        compilation.  Cached (the switch set is immutable after compile).
+        """
+        ids = getattr(self, "_switch_ids", None)
+        if ids is None:
+            ids = {name: index for index, name in enumerate(sorted(self.device_configs))}
+            self._switch_ids = ids
+        return ids
+
     # ------------------------------------------------------- reference oracle
 
     def rank_of_path(

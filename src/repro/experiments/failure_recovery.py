@@ -28,10 +28,11 @@ the sharded, resumable store-backed one — and finish it from stored results.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
+from repro.nputil import mean as _mean
 
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.fct import fattree_spec
@@ -94,7 +95,7 @@ class RecoveryResult:
 
     @property
     def recovered(self) -> bool:
-        return not np.isnan(self.recovery_delay)
+        return not math.isnan(self.recovery_delay)
 
 
 def failure_recovery_specs(
@@ -171,7 +172,7 @@ def _analyse(system: str, series: List[Tuple[float, float]], failure_time: float
         return RecoveryResult(system, failure_time, [], 0.0, float("nan"), float("nan"),
                               failure_detections)
     before = [rate for time, rate in series if 5.0 <= time < failure_time - 1.0]
-    baseline = float(np.mean(before)) if before else 0.0
+    baseline = _mean(before) if before else 0.0
     # A dip is any bin losing more than one packet/ms (or 5%, whichever is
     # larger) relative to the pre-failure rate; recovery is the first later
     # bin back above that threshold.
@@ -186,7 +187,7 @@ def _analyse(system: str, series: List[Tuple[float, float]], failure_time: float
         if not dipped and rate < threshold:
             dipped = True
             dip_delay = time - failure_time
-        elif dipped and rate >= threshold and np.isnan(recovery_delay):
+        elif dipped and rate >= threshold and math.isnan(recovery_delay):
             recovery_delay = time - failure_time
     return RecoveryResult(
         system=system,
@@ -314,7 +315,7 @@ def run_recovery_sweep(
 def _analyse_sweep(system: str, series: List[Tuple[float, float]], fail_time: float,
                    recover_time: float) -> RecoverySweepResult:
     before = [rate for time, rate in series if 2.0 <= time < fail_time - 1.0]
-    baseline = float(np.mean(before)) if before else 0.0
+    baseline = _mean(before) if before else 0.0
     threshold = baseline - max(1.0, 0.05 * baseline)
     dip_delay = float("nan")
     for time, rate in series:
@@ -327,7 +328,7 @@ def _analyse_sweep(system: str, series: List[Tuple[float, float]], fail_time: fl
     after = [rate for time, rate in series[:-1] if time >= recover_time + 1.0]
     if not after:
         after = [rate for time, rate in series if time >= recover_time + 1.0]
-    post = float(np.mean(after)) if after else float("nan")
+    post = _mean(after) if after else float("nan")
     return RecoverySweepResult(
         system=system,
         fail_time=fail_time,
@@ -495,7 +496,7 @@ def analyse_recovery_curve(results: Sequence[RunResult],
         recover_time = fail_time + outage
         series = result.throughput or []
         before = [rate for time, rate in series if 2.0 <= time < fail_time - 1.0]
-        baseline = float(np.mean(before)) if before else 0.0
+        baseline = _mean(before) if before else 0.0
         threshold = baseline - max(1.0, 0.05 * baseline)
 
         dip_delay = float("nan")
@@ -503,7 +504,7 @@ def analyse_recovery_curve(results: Sequence[RunResult],
         for time, rate in series:
             if fail_time <= time < recover_time + 1.0:
                 min_rate = min(min_rate, rate)
-                if np.isnan(dip_delay) and rate < threshold:
+                if math.isnan(dip_delay) and rate < threshold:
                     dip_delay = time - fail_time
         dip_depth = (baseline - min_rate) / baseline if baseline > 0 else float("nan")
 

@@ -120,6 +120,11 @@ class Network:
                 # fallback silently ignores any that reach one).
                 deliver_batch=getattr(dst_node, "receive_probe_batch", None),
             )
+            # Links towards a wave-judging routing logic accumulate their
+            # same-tick probe runs into wave views (array probe plane).
+            dst_routing = getattr(dst_node, "routing", None)
+            if dst_routing is not None and getattr(dst_routing, "wants_probe_waves", False):
+                sim_link.collect_probe_runs = True
             self.links[(link.src, link.dst)] = sim_link
             if link.src in self.switches:
                 self.switches[link.src].add_port(link.dst, sim_link)

@@ -25,8 +25,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from repro.nputil import mean as _mean, percentile_linear as _percentile
 from repro.simulator.accumulators import ReservoirSampler, StreamingHistogram
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -162,11 +161,11 @@ class StatsCollector:
     def average_fct(self) -> float:
         """Mean FCT over completed flows (ms); NaN if nothing completed."""
         fcts = self.flow_completion_times()
-        return float(np.mean(fcts)) if fcts else float("nan")
+        return _mean(fcts) if fcts else float("nan")
 
     def percentile_fct(self, percentile: float) -> float:
         fcts = self.flow_completion_times()
-        return float(np.percentile(fcts, percentile)) if fcts else float("nan")
+        return _percentile(fcts, percentile) if fcts else float("nan")
 
     def completion_ratio(self) -> float:
         """Fraction of flows that finished before the run ended."""
@@ -275,7 +274,7 @@ class StatsCollector:
     def mean_max_cwnd(self) -> float:
         """Mean peak congestion window over flows that reported one (else 0)."""
         peaks = [f.max_cwnd for f in self.flows.values() if f.max_cwnd > 0]
-        return float(np.mean(peaks)) if peaks else 0.0
+        return _mean(peaks) if peaks else 0.0
 
     def per_flow_transport(self) -> List[Dict[str, float]]:
         """Per-flow retransmit/cwnd summaries, in flow-id order."""

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.exceptions import SimulationError
 from repro.simulator.packet import Packet
+from repro.simulator.probe_wave import ProbeWave
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulator.link import SimLink
@@ -56,6 +57,25 @@ class RoutingLogic:
         for packet in packets:
             on_probe(packet, inport)
 
+    #: Set True (with an :meth:`on_probe_wave` override) by logics that judge
+    #: whole ``(link, tick)`` probe runs through the struct-of-arrays
+    #: :class:`~repro.simulator.probe_wave.ProbeWave` view.  Read at switch
+    #: wiring time: links towards such a switch accumulate their runs.
+    wants_probe_waves = False
+
+    def on_probe_wave(self, packets: Sequence[Packet], inport: str,
+                      wave: Optional[ProbeWave] = None) -> None:
+        """Handle one member of a run, with the full run's wave view along.
+
+        Only called when :attr:`wants_probe_waves` is True.  ``wave`` is the
+        whole ``(link, tick)`` run (None when the link did not collect one);
+        ``packets`` is this member's FIFO slice of it.  Implementations must
+        be observably identical to ``on_probe_batch(packets, inport)`` — the
+        wave view changes how a run is *read* and which no-op members get
+        skipped, never what the run means.
+        """
+        self.on_probe_batch(packets, inport)
+
     def on_link_change(self, neighbor: str, failed: bool) -> None:
         """Notification that the link towards ``neighbor`` failed or recovered."""
 
@@ -74,6 +94,10 @@ class SwitchNode:
         #: hosts attached directly to this switch.
         self.attached_hosts: List[str] = []
         routing.attach(self, network)
+        #: Wave-view sink, bound once at wiring time: coalesced probe runs go
+        #: to the routing logic's array fast path when it asked for one, and
+        #: straight to the per-packet-list entry point otherwise.
+        self._wave_sink = routing.on_probe_wave if routing.wants_probe_waves else None
 
     # ------------------------------------------------------------------ wiring
 
@@ -103,9 +127,19 @@ class SwitchNode:
 
     # ----------------------------------------------------------------- receive
 
-    def receive_probe_batch(self, packets: Sequence[Packet], inport: str) -> None:
-        """Vectorized entry point for one coalesced same-tick probe run."""
-        self.routing.on_probe_batch(packets, inport)
+    def receive_probe_batch(self, packets: Sequence[Packet], inport: str,
+                            wave: Optional[ProbeWave] = None) -> None:
+        """Entry point for one batch-lane member of a same-tick probe run.
+
+        ``wave`` is the link's accumulated run view (built once per
+        ``(link, tick)`` run at enqueue time); a wave-judging routing logic
+        uses it to judge the run at its first member and annotate the rest.
+        """
+        wave_sink = self._wave_sink
+        if wave_sink is not None:
+            wave_sink(packets, inport, wave)
+        else:
+            self.routing.on_probe_batch(packets, inport)
 
     def receive(self, packet: Packet, inport: str) -> None:
         """Entry point for packets delivered by an ingress link."""

@@ -1,0 +1,149 @@
+"""Array probe plane: end-to-end byte-identity and the numpy-absent fallback.
+
+The vectorized wave prefilter is a pure receiver-side optimization: every
+probe it drops is one whose scalar processing is provably a no-op, and every
+survivor re-runs the unchanged scalar loop.  With it forced on, a grid must
+therefore produce byte-identical summaries to the scalar path — and to the
+pre-batching schedule (``BATCH_LANE_DEFAULT=False``), which pins the whole
+stack of probe-plane optimizations against the one-event-per-probe oracle.
+A monkeypatched "numpy absent" run proves the pure-Python fallback engages
+cleanly, and an explicit ``probe_vectorize=True`` without numpy is a loud
+error rather than a silent slowdown.
+"""
+
+import pytest
+
+from repro.core.compiler import compile_policy
+from repro.exceptions import SimulationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    ScenarioSpec,
+    TopologySpec,
+    datacenter_policy,
+    run_grid,
+)
+from repro.nputil import np
+from repro.protocol import ContraSystem
+from repro.protocol import contra_switch as contra_switch_module
+from repro.simulator import Network, StatsCollector
+from repro.simulator import engine as engine_module
+from repro.topology import fattree
+
+TINY = ExperimentConfig(workload_duration=1.5, run_duration=20.0, loads=(0.4,),
+                        websearch_scale=0.05, cache_scale=0.2)
+
+needs_numpy = pytest.mark.skipif(np is None,
+                                 reason="array probe plane requires numpy")
+
+
+def tiny_spec(name="vectorize:contra", **overrides):
+    topology = TopologySpec("fattree", k=4, capacity=TINY.host_capacity,
+                            oversubscription=TINY.oversubscription)
+    spec = dict(name=name, system="contra", topology=topology, config=TINY,
+                workload="web_search", load=0.4, seed=TINY.seed,
+                stop_after_completion=True)
+    spec.update(overrides)
+    return ScenarioSpec(**spec)
+
+
+@needs_numpy
+class TestVectorizedVsScalarEquivalence:
+    def test_grid_summaries_byte_identical(self, monkeypatch):
+        spec = tiny_spec()
+        monkeypatch.setattr(contra_switch_module,
+                            "PROBE_VECTORIZE_DEFAULT", True)
+        vectorized = run_grid([spec])
+        monkeypatch.setattr(contra_switch_module,
+                            "PROBE_VECTORIZE_DEFAULT", False)
+        scalar = run_grid([spec])
+        # ... and against the pre-batching one-event-per-probe schedule.
+        monkeypatch.setattr(engine_module, "BATCH_LANE_DEFAULT", False)
+        unbatched = run_grid([spec])
+        assert vectorized[0].summary == scalar[0].summary
+        assert vectorized[0].summary == unbatched[0].summary
+
+    def test_failure_schedule_summaries_byte_identical(self, monkeypatch):
+        # Failures exercise the wave-epoch splitting: a judged wave in
+        # flight across a link failure must be lost identically either way,
+        # and the recovered link's fresh runs must not inherit stale waves.
+        spec = tiny_spec(name="vectorize:failure",
+                         topology=TopologySpec("leafspine", k=4),
+                         stop_after_completion=False,
+                         events=((5.0, "leaf0", "spine0", "fail"),
+                                 (12.0, "leaf0", "spine0", "recover")))
+        monkeypatch.setattr(contra_switch_module,
+                            "PROBE_VECTORIZE_DEFAULT", True)
+        vectorized = run_grid([spec])
+        monkeypatch.setattr(contra_switch_module,
+                            "PROBE_VECTORIZE_DEFAULT", False)
+        scalar = run_grid([spec])
+        assert vectorized[0].summary == scalar[0].summary
+        assert vectorized[0].summary["failure_detections"] > 0
+
+    def test_forwarding_state_identical_on_probe_flood(self):
+        # No workload noise at all: flood probes for a few periods and
+        # compare the complete forwarding state switch by switch.
+        period = 0.256
+        snapshots = []
+        events = []
+        for vectorize in (True, False):
+            topology = fattree(4, capacity=100.0, oversubscription=4.0)
+            compiled = compile_policy(datacenter_policy(), topology)
+            system = ContraSystem(compiled, probe_period=period,
+                                  probe_vectorize=vectorize)
+            network = Network(topology, system, stats=StatsCollector())
+            network.run(period * 6)
+            snapshots.append({name: system.logic(name).forwarding_snapshot()
+                              for name in network.switches})
+            events.append(network.sim.events_processed)
+        assert snapshots[0] == snapshots[1]
+        # The wave prefilter drops member *deliveries*, never engine events:
+        # the schedule itself must be untouched.
+        assert events[0] == events[1]
+
+
+class TestNumpyAbsentFallback:
+    def test_scalar_path_engages_without_numpy(self, monkeypatch):
+        # Simulate a hermetic environment: nputil resolved numpy to None at
+        # import time.  The default must silently fall back to the scalar
+        # path and still produce a working (and identical) fabric.
+        monkeypatch.setattr(contra_switch_module, "np", None)
+        monkeypatch.setattr(contra_switch_module,
+                            "PROBE_VECTORIZE_DEFAULT", True)
+        period = 0.256
+        topology = fattree(4, capacity=100.0, oversubscription=4.0)
+        compiled = compile_policy(datacenter_policy(), topology)
+        system = ContraSystem(compiled, probe_period=period)
+        assert system.vectorize_resolved() is False
+        network = Network(topology, system, stats=StatsCollector())
+        network.run(period * 4)
+        for name, switch in network.switches.items():
+            assert switch.routing.wants_probe_waves is False
+        destinations = network.destination_switches()
+        for switch_name, switch in network.switches.items():
+            for destination in destinations:
+                if destination != switch_name:
+                    assert switch.routing.best_next_hop(destination) is not None
+
+    def test_explicit_vectorize_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setattr(contra_switch_module, "np", None)
+        topology = fattree(4, capacity=100.0, oversubscription=4.0)
+        compiled = compile_policy(datacenter_policy(), topology)
+        with pytest.raises(SimulationError, match="numpy"):
+            ContraSystem(compiled, probe_vectorize=True)
+
+
+@needs_numpy
+class TestVectorizeModeGates:
+    def test_ablation_modes_disable_the_prefilter(self):
+        # The prefilter is only exact under split horizon (constant ingress
+        # congestion across one wave) and versioning (the unversioned
+        # ablation refreshes per-probe staleness state it does not model).
+        topology = fattree(4, capacity=100.0, oversubscription=4.0)
+        compiled = compile_policy(datacenter_policy(), topology)
+        assert ContraSystem(compiled, probe_vectorize=True,
+                            split_horizon=False).vectorize_resolved() is False
+        assert ContraSystem(compiled, probe_vectorize=True,
+                            use_versioning=False).vectorize_resolved() is False
+        assert ContraSystem(
+            compiled, probe_vectorize=True).vectorize_resolved() is True

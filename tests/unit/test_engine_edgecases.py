@@ -263,7 +263,7 @@ class TestDeterminism:
 
 class TestStreamingHistogram:
     def test_matches_numpy_percentile(self):
-        import numpy as np
+        np = pytest.importorskip("numpy")
         histogram = StreamingHistogram()
         values = [0, 1, 1, 2, 3, 5, 8, 13, 21, 34]
         for value in values:
