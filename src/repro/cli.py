@@ -16,6 +16,10 @@
 * ``contra gc-results`` — garbage-collect a long-lived results directory:
   drop records the scenario's current grid no longer defines and compact
   torn/duplicate shard files into one;
+* ``contra check-policy`` — run the verification plane over a policy:
+  semantic monotonicity/isotonicity with concrete counterexamples, and (with
+  ``--topo``) product-graph dead-state analysis plus the lowered-table
+  cross-check, rendered as text or dumped with ``--json``;
 * ``contra policies`` — list the built-in Figure 3 policies.
 """
 
@@ -30,7 +34,7 @@ from typing import List, Optional
 
 from repro.core.compiler import compile_policy
 from repro.core.parser import parse_policy
-from repro.core.policies import ALL_POLICIES
+from repro.core.policies import ALL_POLICIES, POLICY_ALIASES
 from repro.exceptions import ExperimentError
 from repro.experiments.config import config_from_env, default_config, full_config, quick_config
 from repro.experiments.registry import (
@@ -108,6 +112,41 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             (out_dir / f"{switch}.p4").write_text(program.source)
         print(f"wrote {len(programs)} P4 programs to {out_dir}")
     return 0
+
+
+def _resolve_policy(text: str):
+    """A policy key (P1..P9), paper alias (MU/WP/CA), or minimize(...) text."""
+    if text in ALL_POLICIES or text in POLICY_ALIASES:
+        from repro.core.policies import policy_by_name
+
+        return policy_by_name(text)
+    return parse_policy(text)
+
+
+def _cmd_check_policy(args: argparse.Namespace) -> int:
+    from repro.core.analysis import verify_policy
+
+    if args.all:
+        policies = sorted(ALL_POLICIES)
+    elif args.policy is not None:
+        policies = [args.policy]
+    else:
+        raise SystemExit("check-policy needs a policy (P1..P9, an alias, or a "
+                         "minimize(...) expression) or --all")
+    topology = _build_topology(args) if args.topology else None
+    reports = []
+    for name in policies:
+        policy = _resolve_policy(name)
+        report = verify_policy(policy, topology)
+        reports.append(report)
+        print(report.render())
+    if args.json is not None:
+        path = Path(args.json)
+        payload = [r.to_json_dict() for r in reports]
+        path.write_text(json.dumps(payload[0] if len(payload) == 1 else payload,
+                                   indent=2, sort_keys=True, default=str) + "\n")
+        print(f"wrote {path}")
+    return 0 if all(r.ok for r in reports) else 1
 
 
 def _resolve_config(preset: str):
@@ -279,6 +318,33 @@ def build_parser() -> argparse.ArgumentParser:
     compile_cmd.add_argument("--emit-p4", metavar="DIR", default=None,
                              help="write the generated per-switch P4 programs to DIR")
     compile_cmd.set_defaults(func=_cmd_compile)
+
+    check = sub.add_parser(
+        "check-policy",
+        help="verify a policy: semantic monotonicity/isotonicity with concrete "
+             "counterexamples, plus (with --topo) product-graph dead-state "
+             "analysis and the lowered-table cross-check")
+    check.add_argument("policy", nargs="?", default=None,
+                       help="a policy key (P1..P9), a paper alias (MU/WP/CA), "
+                            "or a minimize(...) expression")
+    check.add_argument("--all", action="store_true",
+                       help="check every bundled policy (P1..P9)")
+    check.add_argument("--topo", dest="topology", default=None, metavar="NAME",
+                       help="also analyze against a topology: fattree | "
+                            "leafspine | abilene | random | builtin name | "
+                            "edge-list file")
+    check.add_argument("--k", type=int, default=4, help="fat-tree arity / leaf-spine size")
+    check.add_argument("--leaves", type=int, default=0,
+                       help="leaf-spine leaf count (default: --k)")
+    check.add_argument("--spines", type=int, default=0,
+                       help="leaf-spine spine count (default: --k)")
+    check.add_argument("--hosts-per-leaf", type=int, default=2,
+                       help="hosts attached to each leaf switch")
+    check.add_argument("--size", type=int, default=50, help="random topology size")
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument("--json", metavar="PATH", default=None,
+                       help="also dump the verification report(s) as JSON to PATH")
+    check.set_defaults(func=_cmd_check_policy)
 
     experiment = sub.add_parser("experiment", help="run one evaluation experiment")
     experiment.add_argument("name", choices=tuple(scenario_names()))

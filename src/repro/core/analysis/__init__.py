@@ -1,8 +1,38 @@
-"""Static analyses of Contra policies: monotonicity, isotonicity, decomposition."""
+"""Static analyses of Contra policies.
 
+Classification passes (monotonicity, isotonicity, decomposition) plus the
+verification plane: semantic counterexample search, product-graph
+reachability/dead-state pruning, and the lowered-table cross-checker.
+"""
+
+from repro.core.analysis.crosscheck import (
+    CrosscheckReport,
+    crosscheck_lowered_tables,
+    verify_lowered_tables,
+)
 from repro.core.analysis.decomposition import Decomposition, SubPolicy, decompose
 from repro.core.analysis.isotonicity import IsotonicityResult, branch_is_isotonic, check_isotonicity
-from repro.core.analysis.monotonicity import MonotonicityResult, check_monotonicity, require_monotone
+from repro.core.analysis.monotonicity import (
+    MonotonicityResult,
+    check_monotonicity,
+    coerce_expression,
+    require_monotone,
+)
+from repro.core.analysis.reachability import (
+    ReachabilityReport,
+    analyze_reachability,
+    prune_dead_nodes,
+)
+from repro.core.analysis.semantic import (
+    IsotonicityWitness,
+    MonotonicityWitness,
+    SearchDomain,
+    SemanticIsotonicityResult,
+    SemanticMonotonicityResult,
+    check_semantic_isotonicity,
+    check_semantic_monotonicity,
+)
+from repro.core.analysis.verification import VerificationReport, verify_policy
 
 __all__ = [
     "Decomposition",
@@ -13,5 +43,21 @@ __all__ = [
     "check_isotonicity",
     "MonotonicityResult",
     "check_monotonicity",
+    "coerce_expression",
     "require_monotone",
+    "SearchDomain",
+    "MonotonicityWitness",
+    "IsotonicityWitness",
+    "SemanticMonotonicityResult",
+    "SemanticIsotonicityResult",
+    "check_semantic_monotonicity",
+    "check_semantic_isotonicity",
+    "ReachabilityReport",
+    "analyze_reachability",
+    "prune_dead_nodes",
+    "CrosscheckReport",
+    "crosscheck_lowered_tables",
+    "verify_lowered_tables",
+    "VerificationReport",
+    "verify_policy",
 ]

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from repro.core import ast
+from repro.core.analysis.monotonicity import PolicyOrExpr, coerce_expression
 from repro.core.attributes import ATTRIBUTES
 from repro.exceptions import PolicyAnalysisError
 
@@ -41,13 +42,13 @@ class IsotonicityResult:
     def needs_decomposition(self) -> bool:
         return self.needs_regex_decomposition or self.needs_metric_decomposition
 
-    def __bool__(self) -> bool:  # pragma: no cover - convenience
+    def __bool__(self) -> bool:
         return self.is_isotonic
 
 
-def check_isotonicity(policy_or_expr) -> IsotonicityResult:
+def check_isotonicity(policy_or_expr: PolicyOrExpr) -> IsotonicityResult:
     """Classify a policy (or bare expression) for isotonicity."""
-    expr = policy_or_expr.expression if isinstance(policy_or_expr, ast.Policy) else policy_or_expr
+    expr = coerce_expression(policy_or_expr, "check_isotonicity")
     result = IsotonicityResult(True)
     _walk(expr, result)
     if result.needs_decomposition:

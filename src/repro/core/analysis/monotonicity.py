@@ -14,13 +14,32 @@ needs in order to repair the policy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
 from repro.core import ast
 from repro.core.attributes import ATTRIBUTES
 from repro.exceptions import PolicyAnalysisError
 
-__all__ = ["MonotonicityResult", "check_monotonicity", "require_monotone"]
+__all__ = ["MonotonicityResult", "check_monotonicity", "require_monotone",
+           "coerce_expression"]
+
+PolicyOrExpr = Union[ast.Policy, ast.Expr]
+
+
+def coerce_expression(policy_or_expr: PolicyOrExpr, caller: str) -> ast.Expr:
+    """Unwrap a :class:`~repro.core.ast.Policy` to its rank expression.
+
+    Every analysis entry point accepts either a whole policy or a bare rank
+    expression; anything else is a caller bug that used to propagate as an
+    ``AttributeError`` deep inside the walk — reject it up front instead.
+    """
+    if isinstance(policy_or_expr, ast.Policy):
+        return policy_or_expr.expression
+    if isinstance(policy_or_expr, ast.Expr):
+        return policy_or_expr
+    raise PolicyAnalysisError(
+        f"{caller}() expects a Policy or a rank expression, "
+        f"got {type(policy_or_expr).__name__}: {policy_or_expr!r}")
 
 
 @dataclass
@@ -31,19 +50,19 @@ class MonotonicityResult:
     reasons: List[str] = field(default_factory=list)
     warnings: List[str] = field(default_factory=list)
 
-    def __bool__(self) -> bool:  # pragma: no cover - convenience
+    def __bool__(self) -> bool:
         return self.is_monotone
 
 
-def check_monotonicity(policy_or_expr) -> MonotonicityResult:
+def check_monotonicity(policy_or_expr: PolicyOrExpr) -> MonotonicityResult:
     """Check whether a policy (or bare expression) is provably monotone."""
-    expr = policy_or_expr.expression if isinstance(policy_or_expr, ast.Policy) else policy_or_expr
+    expr = coerce_expression(policy_or_expr, "check_monotonicity")
     result = MonotonicityResult(True)
     _check(expr, result)
     return result
 
 
-def require_monotone(policy_or_expr) -> None:
+def require_monotone(policy_or_expr: PolicyOrExpr) -> None:
     """Raise :class:`PolicyAnalysisError` if the policy is not provably monotone."""
     result = check_monotonicity(policy_or_expr)
     if not result.is_monotone:

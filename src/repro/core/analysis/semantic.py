@@ -1,0 +1,398 @@
+"""Semantic monotonicity/isotonicity checking with concrete counterexamples.
+
+The structural analyses in :mod:`monotonicity` / :mod:`isotonicity` are
+conservative classifiers: they answer *no* without saying *why*.  This module
+upgrades the verdict to a bounded **semantic** search that, when a policy is
+non-monotone or non-isotonic, produces a concrete witness — two metric-vector
+assignments plus the single-hop extension whose link values invert their rank
+order — which can be replayed through :class:`~repro.core.rank.Rank`
+comparison and rendered for an operator.
+
+Semantics checked
+-----------------
+*Monotonicity* is checked per fixed-guard branch: metric guards are pinned to
+each truth assignment (mirroring the decomposition pass, which gives every
+guard combination its own probe), and within a branch we require that
+extending a path never *decreases* its rank.  Regex tests are likewise pinned,
+because the product graph resolves path-shape conditions structurally and
+probes only compete within a tag.
+
+*Isotonicity* is checked on the full expression with **live** metric guards
+(that is exactly where policies such as the congestion-aware P9 break: an
+extension pushes one path across the utilization threshold and flips the
+preference) under each fixed regex assignment.  A witness is a pair of metric
+vectors ``a < b`` and an extension ``e`` with ``extend(a, e) > extend(b, e)``.
+
+Both searches are bounded (grids of metric values enriched with the
+comparison constants appearing in the policy, a capped number of single-hop
+extensions, at most :data:`MAX_REGEXES` regexes and ``_MAX_METRIC_GUARDS``
+guards), so a *pass* is a bounded certificate, not a proof — but a *witness*
+is always a genuine counterexample.  The checks are sound with respect to the
+syntactic passes: a semantic witness implies the syntactic analysis also
+rejects the policy (see ``tests/unit/test_semantic_analysis.py`` for the
+hypothesis property).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core import ast
+from repro.core.analysis.decomposition import (
+    _MAX_METRIC_GUARDS,
+    _collect_metric_guards,
+    _fix_guards,
+)
+from repro.core.analysis.monotonicity import PolicyOrExpr, coerce_expression
+from repro.core.attributes import ATTRIBUTES
+from repro.core.rank import Rank
+from repro.exceptions import PolicyError
+
+__all__ = [
+    "SearchDomain",
+    "MonotonicityWitness",
+    "IsotonicityWitness",
+    "SemanticMonotonicityResult",
+    "SemanticIsotonicityResult",
+    "check_semantic_monotonicity",
+    "check_semantic_isotonicity",
+]
+
+#: Regexes beyond this many are pinned to "no match" instead of enumerated.
+MAX_REGEXES = 4
+
+# Base (path-metric grid, single-link grid) per builtin attribute.  The grids
+# are enriched per policy with every comparison constant c appearing in its
+# guards (c - eps, c, c + eps), so threshold policies always have points on
+# both sides of each threshold.
+_BASE_GRIDS: Dict[str, Tuple[Tuple[float, ...], Tuple[float, ...]]] = {
+    "util": ((0.0, 0.2, 0.5, 0.7, 0.9, 1.0), (0.2, 0.5, 0.7, 0.9, 1.0)),
+    "lat": ((0.0, 0.5, 1.0, 2.5), (0.5, 1.0, 2.5)),
+    # len counts hops: the link value is ignored by its extend() (always +1).
+    "len": ((0.0, 1.0, 2.0, 5.0), (0.0,)),
+}
+_DEFAULT_GRID: Tuple[Tuple[float, ...], Tuple[float, ...]] = (
+    (0.0, 0.5, 1.0), (0.5, 1.0))
+
+
+@dataclass(frozen=True)
+class SearchDomain:
+    """Bounded grids of metric values and link extensions to search over."""
+
+    value_grids: Mapping[str, Tuple[float, ...]]
+    link_grids: Mapping[str, Tuple[float, ...]]
+    max_vectors: int = 512
+    max_extensions: int = 16
+
+    @classmethod
+    def for_expression(cls, expr: ast.Expr) -> "SearchDomain":
+        """Build a domain covering ``expr``'s attributes and guard constants."""
+        value_grids: Dict[str, Tuple[float, ...]] = {}
+        link_grids: Dict[str, Tuple[float, ...]] = {}
+        constants = _comparison_constants(expr)
+        for name in sorted(expr.attributes()):
+            values, links = _BASE_GRIDS.get(name, _DEFAULT_GRID)
+            extra = constants.get(name, ())
+            eps = 0.05 if max(values) <= 1.0 else 0.5
+            enriched = set(values)
+            for c in extra:
+                enriched.update(v for v in (c - eps, c, c + eps) if v >= 0.0)
+            value_grids[name] = tuple(sorted(enriched))
+            spec = ATTRIBUTES.get(name)
+            if extra and spec is not None and spec.is_max_like:
+                link_enriched = set(links)
+                for c in extra:
+                    link_enriched.update(
+                        v for v in (c - eps, c, c + eps) if v >= 0.0)
+                links = tuple(sorted(link_enriched))
+            link_grids[name] = links
+        return cls(value_grids=value_grids, link_grids=link_grids)
+
+    def vectors(self, attrs: Sequence[str]) -> List[Dict[str, float]]:
+        """All metric-vector assignments over ``attrs``, capped and ordered."""
+        grids = [self.value_grids.get(a, _DEFAULT_GRID[0]) for a in attrs]
+        product = itertools.product(*grids)
+        return [dict(zip(attrs, combo))
+                for combo in itertools.islice(product, self.max_vectors)]
+
+    def extensions(self, attrs: Sequence[str]) -> List[Dict[str, float]]:
+        """Candidate single-hop extensions (link values per attribute).
+
+        Link grids are iterated worst-first (highest value first) so that the
+        congested links most likely to invert preferences survive the cap.
+        """
+        grids = [tuple(sorted(self.link_grids.get(a, _DEFAULT_GRID[1]),
+                              reverse=True))
+                 for a in attrs]
+        product = itertools.product(*grids)
+        return [dict(zip(attrs, combo))
+                for combo in itertools.islice(product, self.max_extensions)]
+
+
+def _comparison_constants(expr: ast.Expr) -> Dict[str, Tuple[float, ...]]:
+    """Constants compared against each attribute in the policy's guards."""
+    found: Dict[str, List[float]] = {}
+
+    def visit_bool(node: ast.BoolExpr) -> None:
+        if isinstance(node, ast.Compare):
+            for side, other in ((node.left, node.right),
+                                (node.right, node.left)):
+                if isinstance(side, ast.Attr) and isinstance(other, ast.Const):
+                    found.setdefault(side.name, []).append(float(other.value))
+            return
+        for child in node.children():
+            visit_bool(child)
+
+    def visit(node: ast.Expr) -> None:
+        for cond in node.bool_children():
+            visit_bool(cond)
+        for child in node.children():
+            visit(child)
+
+    visit(expr)
+    return {name: tuple(values) for name, values in found.items()}
+
+
+def _extend(metrics: Mapping[str, float],
+            extension: Mapping[str, float]) -> Dict[str, float]:
+    """Apply a single-hop extension to an accumulated metric vector."""
+    return {name: ATTRIBUTES[name].extend(value, extension.get(name, 0.0))
+            for name, value in metrics.items()}
+
+
+def _evaluate(expr: ast.Expr, metrics: Mapping[str, float],
+              regex_results: Mapping[ast.PathRegex, bool]) -> Optional[Rank]:
+    """Evaluate on an abstract (pathless) context; None when undefined."""
+    ctx = ast.PathContext((), dict(metrics), dict(regex_results))
+    try:
+        return expr.evaluate(ctx)
+    except PolicyError:
+        return None
+
+
+def _fmt_metrics(metrics: Mapping[str, float]) -> str:
+    return ", ".join(f"{k}={metrics[k]:g}" for k in sorted(metrics))
+
+
+def _fmt_assignment(assignment: Mapping[str, bool]) -> str:
+    return ", ".join(f"[{k}] := {v}" for k, v in assignment.items())
+
+
+@dataclass(frozen=True)
+class MonotonicityWitness:
+    """A concrete path whose rank *improves* under a single-hop extension."""
+
+    metrics: Mapping[str, float]
+    extension: Mapping[str, float]
+    base_rank: Rank
+    extended_rank: Rank
+    guard_assignment: Mapping[str, bool]
+    regex_assignment: Mapping[str, bool]
+
+    def describe(self) -> str:
+        lines = ["rank decreases when the path grows:"]
+        if self.guard_assignment:
+            lines.append(f"  with guards fixed: "
+                         f"{_fmt_assignment(self.guard_assignment)}")
+        if self.regex_assignment:
+            lines.append(f"  with regexes fixed: "
+                         f"{_fmt_assignment(self.regex_assignment)}")
+        lines.append(f"  path p:  {_fmt_metrics(self.metrics)}"
+                     f"  ->  rank {self.base_rank}")
+        lines.append(f"  extend p with a link ({_fmt_metrics(self.extension)}):")
+        ext = _extend(self.metrics, self.extension)
+        lines.append(f"  path p': {_fmt_metrics(ext)}"
+                     f"  ->  rank {self.extended_rank}")
+        lines.append(f"  {self.extended_rank} < {self.base_rank}"
+                     " — the longer path ranks strictly better")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class IsotonicityWitness:
+    """Two concrete paths whose preference order flips under an extension."""
+
+    metrics_a: Mapping[str, float]
+    metrics_b: Mapping[str, float]
+    extension: Mapping[str, float]
+    rank_a: Rank
+    rank_b: Rank
+    extended_rank_a: Rank
+    extended_rank_b: Rank
+    regex_assignment: Mapping[str, bool]
+
+    def describe(self) -> str:
+        lines = ["preference inverts under a common extension:"]
+        if self.regex_assignment:
+            lines.append(f"  with regexes fixed: "
+                         f"{_fmt_assignment(self.regex_assignment)}")
+        lines.append(f"  path a: {_fmt_metrics(self.metrics_a)}"
+                     f"  ->  rank {self.rank_a}")
+        lines.append(f"  path b: {_fmt_metrics(self.metrics_b)}"
+                     f"  ->  rank {self.rank_b}"
+                     f"    (a preferred: {self.rank_a} < {self.rank_b})")
+        lines.append(f"  extend both with a link"
+                     f" ({_fmt_metrics(self.extension)}):")
+        ext_a = _extend(self.metrics_a, self.extension)
+        ext_b = _extend(self.metrics_b, self.extension)
+        lines.append(f"  path a': {_fmt_metrics(ext_a)}"
+                     f"  ->  rank {self.extended_rank_a}")
+        lines.append(f"  path b': {_fmt_metrics(ext_b)}"
+                     f"  ->  rank {self.extended_rank_b}"
+                     f"    (now b preferred: {self.extended_rank_a} >"
+                     f" {self.extended_rank_b})")
+        return "\n".join(lines)
+
+
+@dataclass
+class SemanticMonotonicityResult:
+    """Outcome of the bounded semantic monotonicity search."""
+
+    is_monotone: bool
+    witness: Optional[MonotonicityWitness] = None
+    points_checked: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.is_monotone
+
+
+@dataclass
+class SemanticIsotonicityResult:
+    """Outcome of the bounded semantic isotonicity search."""
+
+    is_isotonic: bool
+    witness: Optional[IsotonicityWitness] = None
+    points_checked: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.is_isotonic
+
+
+def _regex_assignments(
+        regexes: Tuple[ast.PathRegex, ...],
+        notes: List[str]) -> List[Dict[ast.PathRegex, bool]]:
+    enumerated = regexes[:MAX_REGEXES]
+    pinned = {r: False for r in regexes[MAX_REGEXES:]}
+    if pinned:
+        notes.append(f"{len(pinned)} regex(es) beyond the first {MAX_REGEXES} "
+                     "pinned to no-match")
+    assignments = []
+    for bits in itertools.product((False, True), repeat=len(enumerated)):
+        assignment = dict(zip(enumerated, bits))
+        assignment.update(pinned)
+        assignments.append(assignment)
+    return assignments
+
+
+def check_semantic_monotonicity(
+        policy_or_expr: PolicyOrExpr,
+        domain: Optional[SearchDomain] = None) -> SemanticMonotonicityResult:
+    """Search for a path whose rank improves when it is extended.
+
+    Checked per fixed-guard branch (see module docstring): a witness means
+    *some* decomposed branch is non-monotone, which is exactly the condition
+    under which probes could circulate forever.
+    """
+    expr = coerce_expression(policy_or_expr, "check_semantic_monotonicity")
+    attrs = sorted(expr.attributes())
+    if domain is None:
+        domain = SearchDomain.for_expression(expr)
+    result = SemanticMonotonicityResult(True)
+    guards = _collect_metric_guards(expr)[:_MAX_METRIC_GUARDS]
+    vectors = domain.vectors(attrs)
+    extensions = domain.extensions(attrs)
+    for guard_bits in itertools.product((False, True), repeat=len(guards)):
+        guard_map = dict(zip(guards, guard_bits))
+        branch = _fix_guards(expr, guard_map) if guards else expr
+        for regex_map in _regex_assignments(branch.regexes(), result.notes):
+            base = [(rank, metrics) for metrics in vectors
+                    if (rank := _evaluate(branch, metrics, regex_map))
+                    is not None]
+            for extension in extensions:
+                for rank, metrics in base:
+                    extended = _evaluate(branch, _extend(metrics, extension),
+                                         regex_map)
+                    if extended is None:
+                        continue
+                    result.points_checked += 1
+                    if extended < rank:
+                        result.is_monotone = False
+                        result.witness = MonotonicityWitness(
+                            metrics=dict(metrics),
+                            extension=dict(extension),
+                            base_rank=rank,
+                            extended_rank=extended,
+                            guard_assignment={str(g): v for g, v
+                                              in guard_map.items()},
+                            regex_assignment={str(r): v for r, v
+                                              in regex_map.items()},
+                        )
+                        return result
+    return result
+
+
+def check_semantic_isotonicity(
+        policy_or_expr: PolicyOrExpr,
+        domain: Optional[SearchDomain] = None) -> SemanticIsotonicityResult:
+    """Search for two paths whose preference order flips under an extension.
+
+    Metric guards stay live (threshold crossings are the classic source of
+    non-isotonicity); regex outcomes are pinned per assignment because the
+    product graph resolves path shape structurally.
+    """
+    expr = coerce_expression(policy_or_expr, "check_semantic_isotonicity")
+    attrs = sorted(expr.attributes())
+    if domain is None:
+        domain = SearchDomain.for_expression(expr)
+    result = SemanticIsotonicityResult(True)
+    vectors = domain.vectors(attrs)
+    extensions = domain.extensions(attrs)
+    for regex_map in _regex_assignments(expr.regexes(), result.notes):
+        base = [(rank, metrics) for metrics in vectors
+                if (rank := _evaluate(expr, metrics, regex_map)) is not None]
+        base.sort(key=lambda pair: pair[0])
+        for extension in extensions:
+            extended = [_evaluate(expr, _extend(metrics, extension), regex_map)
+                        for _, metrics in base]
+            # One pass over vectors sorted by base rank: track the index of
+            # the worst (maximal) extended rank over the strictly-better
+            # prefix; any later vector with a smaller extended rank is the
+            # second half of an inversion.
+            worst: Optional[int] = None
+            i, n = 0, len(base)
+            while i < n:
+                j = i
+                while j < n and not (base[i][0] < base[j][0]):
+                    j += 1
+                for k in range(i, j):
+                    ext_k = extended[k]
+                    if ext_k is None:
+                        continue
+                    result.points_checked += 1
+                    if worst is not None and extended[worst] > ext_k:
+                        a_rank, a_metrics = base[worst]
+                        b_rank, b_metrics = base[k]
+                        result.is_isotonic = False
+                        result.witness = IsotonicityWitness(
+                            metrics_a=dict(a_metrics),
+                            metrics_b=dict(b_metrics),
+                            extension=dict(extension),
+                            rank_a=a_rank,
+                            rank_b=b_rank,
+                            extended_rank_a=extended[worst],
+                            extended_rank_b=ext_k,
+                            regex_assignment={str(r): v for r, v
+                                              in regex_map.items()},
+                        )
+                        return result
+                for k in range(i, j):
+                    if extended[k] is None:
+                        continue
+                    if worst is None or extended[k] > extended[worst]:
+                        worst = k
+                i = j
+    return result

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core import ast
 from repro.core.analysis.decomposition import Decomposition, decompose
@@ -34,6 +34,9 @@ from repro.core.product_graph import PGNode, ProductGraph, build_product_graph
 from repro.core.rank import INFINITY, Rank
 from repro.exceptions import CompilationError, PolicyAnalysisError
 from repro.topology.graph import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.analysis.reachability import ReachabilityReport
 
 __all__ = ["CompileOptions", "CompiledPolicy", "compile_policy"]
 
@@ -55,6 +58,13 @@ class CompileOptions:
     #: Multiplier applied to the measured worst-case RTT when choosing the
     #: probe period (must be >= 0.5 per §5.2).
     probe_period_rtt_multiplier: float = 0.5
+    #: Drop dead product-graph states (unreachable from any probe origin, or
+    #: never able to yield a finite rank) before generating device configs.
+    #: Opt-in; the default-off path is byte-identical to earlier compilers.
+    prune_unreachable: bool = False
+    #: Run the lowered-table cross-checker as a post-compile assertion and
+    #: raise :class:`~repro.exceptions.VerificationError` on any disagreement.
+    verify: bool = False
 
 
 @dataclass
@@ -73,6 +83,10 @@ class CompiledPolicy:
     probe_period: float
     #: Wall-clock compile time in seconds (Figure 9).
     compile_time: float = 0.0
+    #: Dead-state report when compiled with ``prune_unreachable=True``
+    #: (None otherwise; the analysis is also available standalone via
+    #: :func:`repro.core.analysis.analyze_reachability`).
+    reachability: Optional["ReachabilityReport"] = None
 
     # ------------------------------------------------------------------ sizing
 
@@ -201,6 +215,15 @@ def compile_policy(
         minimize_tags=options.minimize_tags,
     )
 
+    reachability = None
+    if options.prune_unreachable:
+        # Lazy import: reachability depends on analysis internals that in
+        # turn import nothing from the compiler, but keeping the default
+        # compile path free of extra imports preserves its footprint.
+        from repro.core.analysis.reachability import prune_dead_nodes
+
+        reachability = prune_dead_nodes(policy, product_graph)
+
     device_configs = _generate_device_configs(policy, topology, product_graph, decomposition, options)
 
     probe_period = max(options.probe_period_rtt_multiplier, 0.5) * topology.max_rtt()
@@ -208,7 +231,7 @@ def compile_policy(
         probe_period = 0.25
 
     elapsed = time.perf_counter() - started
-    return CompiledPolicy(
+    compiled = CompiledPolicy(
         policy=policy,
         topology=topology,
         options=options,
@@ -219,7 +242,15 @@ def compile_policy(
         device_configs=device_configs,
         probe_period=probe_period,
         compile_time=elapsed,
+        reachability=reachability,
     )
+    if options.verify:
+        # Lazy: the cross-checker reaches into the protocol layer, which the
+        # core compiler must not import unconditionally.
+        from repro.core.analysis.crosscheck import verify_lowered_tables
+
+        verify_lowered_tables(compiled)
+    return compiled
 
 
 def _generate_device_configs(

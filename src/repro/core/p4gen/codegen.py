@@ -20,6 +20,7 @@ reproduction (the simulator interprets the DeviceConfig directly instead).
 from __future__ import annotations
 
 import textwrap
+import zlib
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.compiler import CompiledPolicy
@@ -104,8 +105,11 @@ register<bit<8>>({config.loop_table_slots}) loop_min_ttl;
 def _probe_transition_table(config: DeviceConfig) -> str:
     entries = []
     for (neighbor, neighbor_tag), local_tag in sorted(config.probe_transition.items()):
+        # crc32, not hash(): the builtin is salted per process
+        # (PYTHONHASHSEED) and would make the emitted source nondeterministic.
+        neighbor_key = zlib.crc32(neighbor.encode("utf-8")) & 0xffff
         entries.append(f"        // probe from {neighbor} tag {neighbor_tag} -> local tag {local_tag}\n"
-                       f"        ({hash(neighbor) & 0xffff}, {neighbor_tag}) : "
+                       f"        ({neighbor_key}, {neighbor_tag}) : "
                        f"set_local_tag({local_tag});")
     entries_text = "\n".join(entries) if entries else "        // no product-graph edges into this switch"
     return f"""\

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence
 
 from repro.core import ast
+from repro.exceptions import PolicyError
 from repro.core.builder import (
     add,
     as_expr,
@@ -38,6 +39,8 @@ __all__ = [
     "WP",
     "CA",
     "ALL_POLICIES",
+    "POLICY_ALIASES",
+    "policy_by_name",
 ]
 
 
@@ -171,3 +174,23 @@ ALL_POLICIES = {
     "P8": source_local_preference,
     "P9": congestion_aware,
 }
+
+#: Paper-name aliases accepted wherever a bundled policy is named (CLI, CI).
+POLICY_ALIASES = {
+    "MU": MU,
+    "WP": WP,
+    "CA": CA,
+    "minimize-latency": minimize_latency,
+}
+
+
+def policy_by_name(name: str) -> ast.Policy:
+    """Instantiate a bundled policy by registry key (``P1``..``P9``) or alias.
+
+    Raises :class:`PolicyError` for unknown names, listing what is available.
+    """
+    factory = ALL_POLICIES.get(name) or POLICY_ALIASES.get(name)
+    if factory is None:
+        known = ", ".join(sorted(ALL_POLICIES) + sorted(POLICY_ALIASES))
+        raise PolicyError(f"unknown bundled policy {name!r} (known: {known})")
+    return factory()

@@ -212,6 +212,34 @@ class ProductGraph:
             return None
         return self.acceptance_by_regex(walk[-1])
 
+    # ------------------------------------------------------------- restriction
+
+    def restrict_to(self, keep: Iterable[PGNode]) -> None:
+        """Drop every virtual node not in ``keep`` and reassign tags.
+
+        Used by the reachability pass to prune dead states.  Probe-sending
+        nodes can never be dropped — they anchor ``probe_origin_tag`` on every
+        device — so asking to remove one is a caller bug.
+        """
+        keep_set = set(keep)
+        missing = sorted(
+            switch for switch, node in self.probe_sending_nodes.items()
+            if node not in keep_set)
+        if missing:
+            raise CompilationError(
+                "cannot prune probe-sending nodes of switches: "
+                + ", ".join(missing))
+        if keep_set >= set(self.nodes):
+            return
+        new_nodes = [n for n in self.nodes if n in keep_set]
+        self.nodes = new_nodes
+        self._node_index = {n: i for i, n in enumerate(new_nodes)}
+        self.out_edges = {
+            n: [s for s in self.out_edges[n] if s in keep_set] for n in new_nodes}
+        self.in_edges = {
+            n: [p for p in self.in_edges[n] if p in keep_set] for n in new_nodes}
+        self._assign_tags()
+
     # --------------------------------------------------------- tag minimisation
 
     def minimize_tags(self) -> Dict[PGNode, PGNode]:

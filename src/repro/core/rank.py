@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from functools import total_ordering
-from typing import Iterable, Sequence, Tuple, Union
+from typing import Callable, Iterable, List, Sequence, Tuple, Union
 
 from repro.exceptions import PolicyError
 
@@ -39,7 +39,7 @@ class Rank:
 
     __slots__ = ("_values",)
 
-    def __init__(self, values: Union[_Number, Sequence[_Number], "Rank"]):
+    def __init__(self, values: Union[_Number, Sequence[_Number], "Rank"]) -> None:
         if isinstance(values, Rank):
             self._values: Tuple[float, ...] = values._values
             return
@@ -47,7 +47,7 @@ class Rank:
             values = (values,)
         if not isinstance(values, (tuple, list)) or len(values) == 0:
             raise PolicyError(f"a rank must be a number or non-empty sequence, got {values!r}")
-        flat = []
+        flat: List[float] = []
         for v in values:
             if isinstance(v, Rank):
                 flat.extend(v._values)
@@ -126,7 +126,8 @@ class Rank:
 
     # ------------------------------------------------------------ arithmetic
 
-    def _binary(self, other: Union["Rank", _Number], op) -> "Rank":
+    def _binary(self, other: Union["Rank", _Number],
+                op: Callable[[float, float], float]) -> "Rank":
         if isinstance(other, (int, float)):
             other = Rank(other)
         if not isinstance(other, Rank):
@@ -169,7 +170,7 @@ class Rank:
     @staticmethod
     def tuple_of(components: Iterable[Union["Rank", _Number]]) -> "Rank":
         """Build a lexicographic tuple rank by concatenating components."""
-        parts = []
+        parts: List[Rank] = []
         for c in components:
             parts.append(Rank(c))
         if not parts:

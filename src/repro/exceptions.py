@@ -40,6 +40,15 @@ class CompilationError(ContraError):
     """The compiler could not generate device programs for the policy/topology."""
 
 
+class VerificationError(CompilationError):
+    """A compiled artifact disagrees with its symbolic source of truth.
+
+    Raised by the lowered-table cross-checker when the dense int64 transition
+    rows or the ForwardingShadow dimensions diverge from the symbolic
+    ``probe_transition`` tables / interning maps they were lowered from.
+    """
+
+
 class SimulationError(ContraError):
     """The discrete-event simulator encountered an invalid state."""
 

@@ -1,0 +1,67 @@
+"""Pruned-vs-unpruned compilation must not change experiment results.
+
+``CompileOptions(prune_unreachable=True)`` may only drop *dead* product-graph
+nodes, so the paper-figure experiments (regex-free grid policies: one virtual
+node per switch, nothing dead) must produce byte-identical summaries with and
+without it.  The pruned runs also compile with ``verify=True``, so every
+summary below was produced from cross-checked lowered tables.
+"""
+
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.core.compiler import CompileOptions, compile_policy
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import run_scenario
+from repro.experiments.runner import ScenarioSpec, TopologySpec, run_grid
+
+TINY = ExperimentConfig(workload_duration=4.0, run_duration=30.0, loads=(0.6,),
+                        websearch_scale=0.05)
+
+PRUNED_OPTIONS = CompileOptions(prune_unreachable=True, verify=True)
+
+
+def pruning_compile(policy, topology, options=None):
+    merged = PRUNED_OPTIONS if options is None else options
+    return compile_policy(policy, topology, merged)
+
+
+def tiny_specs():
+    topology = TopologySpec("fattree", k=4, capacity=TINY.host_capacity,
+                            oversubscription=TINY.oversubscription)
+    return [
+        ScenarioSpec(name=f"fig11-like:{system}", system=system,
+                     topology=topology, config=TINY, workload="web_search",
+                     load=0.6, seed=TINY.seed, stop_after_completion=True)
+        for system in ("contra", "ecmp")
+    ]
+
+
+def summaries(results):
+    return [(result.name, sorted(result.summary.items())) for result in results]
+
+
+class TestPrunedEquivalence:
+    def test_fig11_quick_grid_summary_byte_identical(self, monkeypatch):
+        plain = run_grid(tiny_specs(), processes=1)
+        monkeypatch.setattr(runner_module, "compile_policy", pruning_compile)
+        pruned = run_grid(tiny_specs(), processes=1)
+        assert summaries(plain) == summaries(pruned)
+
+    def test_fig13_scenario_payload_identical(self, monkeypatch):
+        plain = run_scenario("fig13", TINY)
+        monkeypatch.setattr(runner_module, "compile_policy", pruning_compile)
+        pruned = run_scenario("fig13", TINY)
+        assert plain.payload == pruned.payload
+        assert plain.text == pruned.text
+
+    def test_pruned_compile_records_reachability(self):
+        topology = TopologySpec("fattree", k=4, capacity=TINY.host_capacity,
+                                oversubscription=TINY.oversubscription).build()
+        from repro.experiments.runner import datacenter_policy
+        compiled = pruning_compile(datacenter_policy(), topology)
+        report = compiled.reachability
+        assert report is not None
+        # Grid policies are regex-free: nothing to prune, nothing pruned.
+        assert report.num_dead == 0
+        assert report.tags_total_before == report.tags_total_after

@@ -1,0 +1,119 @@
+"""Unit tests for the lowered-table cross-checker.
+
+Clean compiles must pass; corrupted lowered artifacts (the dense int64 rows,
+the tag table, the symbolic transitions) must be flagged with a problem and
+make ``CompileOptions(verify=True)`` / ``verify_lowered_tables`` raise.
+"""
+
+import pytest
+
+from repro.core import policies
+from repro.core.analysis import crosscheck_lowered_tables, verify_lowered_tables
+from repro.core.compiler import CompileOptions, compile_policy
+from repro.exceptions import VerificationError
+from repro.nputil import np
+from repro.topology import abilene
+from repro.topology.graph import Topology
+
+pytestmark = pytest.mark.skipif(np is None, reason="crosscheck corruption "
+                                "tests exercise the numpy lowering")
+
+
+@pytest.fixture
+def diamond():
+    topo = Topology("figure6")
+    for switch in ("A", "B", "C", "D"):
+        topo.add_switch(switch)
+    for a, b in (("A", "B"), ("A", "C"), ("B", "C"), ("B", "D"), ("C", "D")):
+        topo.add_link(a, b)
+    return topo
+
+
+class TestCleanCompiles:
+    def test_single_metric_policy_passes(self, diamond):
+        report = crosscheck_lowered_tables(
+            compile_policy(policies.minimum_utilization(), diamond))
+        assert report.ok and bool(report)
+        assert report.devices_checked == 4
+        assert report.transitions_checked > 0
+        assert report.shadows_checked == 4
+        assert report.problems == []
+
+    def test_decomposed_policy_on_abilene_passes(self):
+        report = crosscheck_lowered_tables(
+            compile_policy(policies.congestion_aware(), abilene()))
+        assert report.ok
+        assert report.devices_checked == 11
+
+    def test_verify_option_passes_on_clean_compile(self, diamond):
+        compiled = compile_policy(policies.minimum_utilization(), diamond,
+                                  CompileOptions(verify=True))
+        assert compiled.device_configs  # compiled and verified without raising
+
+    def test_report_serialises_and_renders(self, diamond):
+        report = crosscheck_lowered_tables(
+            compile_policy(policies.shortest_path(), diamond))
+        data = report.to_json_dict()
+        assert data["ok"] is True
+        assert data["devices_checked"] == 4
+        assert "OK" in report.render()
+
+
+class TestCorruptionDetection:
+    def test_mutated_lowered_row_flagged(self, diamond):
+        compiled = compile_policy(policies.minimum_utilization(), diamond)
+        config = compiled.device("B")
+        rows = config.lowered_transitions()
+        neighbor = sorted(rows)[0]
+        rows[neighbor][0] = 63  # not a local tag, disagrees with the dict
+        report = crosscheck_lowered_tables(compiled)
+        assert not report.ok
+        assert any("disagrees with symbolic" in p for p in report.problems)
+
+    def test_mutated_symbolic_entry_flagged(self, diamond):
+        compiled = compile_policy(policies.minimum_utilization(), diamond)
+        config = compiled.device("B")
+        config.lowered_transitions()  # populate the cache first
+        key = sorted(config.probe_transition)[0]
+        config.probe_transition[key] = config.probe_transition[key] + 17
+        report = crosscheck_lowered_tables(compiled)
+        assert not report.ok
+
+    def test_transition_to_unknown_neighbor_tag_flagged(self, diamond):
+        compiled = compile_policy(policies.minimum_utilization(), diamond)
+        config = compiled.device("B")
+        neighbor = sorted(compiled.topology.switch_neighbors("B"))[0]
+        config.probe_transition[(neighbor, 97)] = config.probe_origin_tag
+        report = crosscheck_lowered_tables(compiled)
+        assert any("does not define" in p for p in report.problems)
+
+    def test_sparse_tag_table_flagged(self, diamond):
+        compiled = compile_policy(
+            policies.failover_preference(("A", "B", "D"), ("B", ".*", "D")),
+            diamond)
+        config = compiled.device("D")
+        tags = sorted(config.tags)
+        assert len(tags) > 1
+        victim = next(t for t in tags if t != config.probe_origin_tag)
+        del config.tags[victim]
+        report = crosscheck_lowered_tables(compiled)
+        assert any("not dense" in p for p in report.problems)
+
+    def test_verify_raises_with_problem_list(self, diamond):
+        compiled = compile_policy(policies.minimum_utilization(), diamond)
+        rows = compiled.device("A").lowered_transitions()
+        rows[sorted(rows)[0]][0] = 63
+        with pytest.raises(VerificationError, match="disagrees"):
+            verify_lowered_tables(compiled)
+
+
+class TestNumpyAbsentPath:
+    def test_protocol_checks_skip_with_note(self, diamond, monkeypatch):
+        compiled = compile_policy(policies.minimum_utilization(), diamond)
+        import repro.core.analysis.crosscheck as crosscheck_module
+        monkeypatch.setattr(crosscheck_module, "np", None)
+        report = crosscheck_lowered_tables(compiled)
+        assert report.ok
+        assert report.shadows_checked == 0
+        assert report.transitions_checked == 0
+        assert any("numpy unavailable" in n for n in report.notes)

@@ -1,0 +1,124 @@
+"""Unit tests for tools/lint_determinism.py (the determinism hazard linter)."""
+
+import importlib.util
+import textwrap
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "lint_determinism",
+    Path(__file__).resolve().parents[2] / "tools" / "lint_determinism.py")
+lint_determinism = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(lint_determinism)
+
+
+def run_lint(tmp_path, source, name="sample.py"):
+    target = tmp_path / name
+    target.write_text(textwrap.dedent(source))
+    return lint_determinism.lint([target])
+
+
+class TestRules:
+    def test_hash_builtin_flagged(self, tmp_path):
+        violations, _ = run_lint(tmp_path, """\
+            def bucket(name):
+                return hash(name) % 16
+            """)
+        assert [v.rule for v in violations] == ["hash-builtin"]
+        assert violations[0].line == 2
+
+    def test_hash_inside_dunder_hash_exempt(self, tmp_path):
+        violations, _ = run_lint(tmp_path, """\
+            class Rank:
+                def __hash__(self):
+                    return hash(self._values)
+            """)
+        assert violations == []
+
+    def test_unseeded_random_flagged(self, tmp_path):
+        violations, _ = run_lint(tmp_path, """\
+            import random
+            def jitter():
+                return random.random() + random.uniform(0, 1)
+            """)
+        assert [v.rule for v in violations] == ["unseeded-random"] * 2
+
+    def test_seeded_rng_instance_allowed(self, tmp_path):
+        violations, _ = run_lint(tmp_path, """\
+            import random
+            def jitter(rng: "random.Random"):
+                return rng.random()
+            """)
+        assert violations == []
+
+    def test_wall_clock_flagged_but_perf_counter_allowed(self, tmp_path):
+        violations, _ = run_lint(tmp_path, """\
+            import time
+            from datetime import datetime
+            def stamp():
+                return time.time(), datetime.now(), time.perf_counter()
+            """)
+        assert sorted(v.rule for v in violations) == ["wall-clock", "wall-clock"]
+
+    def test_set_iteration_flagged(self, tmp_path):
+        violations, _ = run_lint(tmp_path, """\
+            def visit(edges):
+                for node in {a for a, _ in edges}:
+                    print(node)
+                for node in set(edges) | {None}:
+                    print(node)
+            """)
+        assert [v.rule for v in violations] == ["set-iteration"] * 2
+
+    def test_sorted_set_iteration_allowed(self, tmp_path):
+        violations, _ = run_lint(tmp_path, """\
+            def visit(edges):
+                for node in sorted(set(edges)):
+                    print(node)
+            """)
+        assert violations == []
+
+
+class TestAllowlist:
+    def test_allowlisted_finding_suppressed(self, tmp_path, monkeypatch):
+        target = tmp_path / "audited.py"
+        target.write_text("def f():\n    return hash('x')\n")
+        rel = target.resolve().as_posix()
+        monkeypatch.setitem(lint_determinism.ALLOWLIST, rel,
+                            frozenset({"hash-builtin"}))
+        violations, allowed = lint_determinism.lint([target])
+        assert violations == []
+        assert [f.rule for f in allowed] == ["hash-builtin"]
+
+    def test_allowlist_only_covers_named_rules(self, tmp_path, monkeypatch):
+        target = tmp_path / "audited.py"
+        target.write_text("import random\n\ndef f():\n"
+                          "    return hash('x') + random.random()\n")
+        monkeypatch.setitem(lint_determinism.ALLOWLIST,
+                            target.resolve().as_posix(),
+                            frozenset({"hash-builtin"}))
+        violations, allowed = lint_determinism.lint([target])
+        assert [f.rule for f in violations] == ["unseeded-random"]
+        assert [f.rule for f in allowed] == ["hash-builtin"]
+
+
+class TestTreeAndCli:
+    def test_repository_source_tree_is_clean(self):
+        violations, _ = lint_determinism.lint([lint_determinism.DEFAULT_TARGET])
+        assert violations == [], "\n".join(
+            v.render(lint_determinism.REPO_ROOT) for v in violations)
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert lint_determinism.main([str(clean)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("def f():\n    return hash('x')\n")
+        assert lint_determinism.main([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "hash-builtin" in out and "1 determinism hazard" in out
+
+        assert lint_determinism.main([str(tmp_path / "missing.py")]) == 2

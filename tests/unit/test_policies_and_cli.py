@@ -132,3 +132,59 @@ class TestCli:
         for scenario in ("incast", "multi-failure", "recovery-sweep"):
             args = build_parser().parse_args(["run-grid", scenario])
             assert args.name == scenario
+
+
+class TestCheckPolicyCli:
+    def test_isotonic_policy_certified(self, capsys):
+        assert main(["check-policy", "P2"]) == 0
+        out = capsys.readouterr().out
+        assert "semantic=certified" in out
+        assert "verdict: OK" in out
+
+    def test_p9_reports_concrete_counterexample(self, capsys):
+        assert main(["check-policy", "P9"]) == 0  # non-isotonic is not a failure
+        out = capsys.readouterr().out
+        assert "WITNESS FOUND" in out
+        assert "isotonicity counterexample" in out
+        assert "preference inverts" in out
+
+    def test_alias_and_inline_policies_accepted(self, capsys):
+        assert main(["check-policy", "MU"]) == 0
+        assert main(["check-policy", "minimize( path.lat )"]) == 0
+
+    def test_non_monotone_policy_fails(self, capsys):
+        assert main(["check-policy", "minimize( 10 - path.len )"]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: FAILED" in out
+        assert "rank decreases" in out
+
+    def test_json_report_single_policy(self, tmp_path, capsys):
+        import json
+        report_path = tmp_path / "p9.json"
+        assert main(["check-policy", "P9", "--json", str(report_path)]) == 0
+        data = json.loads(report_path.read_text())
+        assert data["policy"] == "P9-congestion-aware"
+        assert data["ok"] is True
+        assert data["syntactic"]["needs_metric_decomposition"] is True
+        witness = data["semantic"]["isotonicity_witness"]
+        assert witness is not None and "description" in witness
+
+    def test_json_report_all_policies(self, tmp_path, capsys):
+        import json
+        report_path = tmp_path / "all.json"
+        assert main(["check-policy", "--all", "--json", str(report_path)]) == 0
+        data = json.loads(report_path.read_text())
+        assert len(data) == 9
+        assert {entry["policy"][:2] for entry in data} == \
+            {f"P{i}" for i in range(1, 10)}
+
+    def test_topology_run_includes_reachability_and_crosscheck(self, capsys):
+        assert main(["check-policy", "P2", "--topo", "abilene"]) == 0
+        out = capsys.readouterr().out
+        assert "topology abilene" in out
+        assert "product graph" in out
+        assert "cross-check" in out
+
+    def test_missing_policy_argument_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check-policy"])

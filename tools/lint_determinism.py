@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Determinism lint: scan ``src/repro`` for known nondeterminism hazards.
+
+The simulator's contract (ROADMAP.md "byte-identity invariant") is that a
+(scenario, seed) pair reproduces byte-identical summaries across runs and
+machines.  The hazards this AST-based checker hunts are exactly the ways that
+invariant has historically broken in Python codebases:
+
+* ``hash-builtin`` — calls to the builtin ``hash()``: salted per process by
+  PYTHONHASHSEED, so anything derived from it (bucket choice, iteration
+  order) varies across runs.
+* ``unseeded-random`` — module-level ``random.*`` calls (``random.random()``,
+  ``random.choice(...)``, ...): they share one process-global RNG whose
+  stream depends on import order; simulator code must thread an explicit
+  ``random.Random(seed)``.
+* ``wall-clock`` — ``time.time()`` / ``time.time_ns()`` /
+  ``datetime.now()``-style calls: real time leaking into simulated time or
+  summaries.  (``time.perf_counter`` is allowed: it only feeds *reported*
+  wall-clock measurements such as compile times, never scheduling.)
+* ``set-iteration`` — ``for`` loops directly over a set literal, set
+  comprehension, or ``set(...)`` call without an ordering wrapper: iteration
+  order depends on insertion history and hash salting.
+
+Audited exceptions live in :data:`ALLOWLIST`, keyed by path relative to the
+repository root; each entry names the rules it may violate and must carry a
+justification comment.  Run from the repo root::
+
+    python tools/lint_determinism.py [paths...]
+
+Exit status is the number of unallowlisted findings (0 = clean).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, NamedTuple, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TARGET = REPO_ROOT / "src" / "repro"
+
+#: Module-level functions of ``random`` that use the shared process RNG.
+_GLOBAL_RANDOM_FUNCS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "triangular", "seed", "getrandbits",
+})
+
+#: Wall-clock reads that must not drive simulation or summaries.
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+#: path (relative to repo root, POSIX separators) -> rules audited as safe.
+#: Every entry must carry a comment justifying the audit.  Currently empty:
+#: the tree is clean (flow hashing already goes through the deterministic
+#: ``stable_flow_hash`` in protocol/tables.py, and ``hash()`` inside
+#: ``__hash__`` is exempted by the checker itself).
+ALLOWLIST: Dict[str, FrozenSet[str]] = {}
+
+
+class Finding(NamedTuple):
+    path: Path
+    line: int
+    rule: str
+    message: str
+
+    def render(self, root: Path) -> str:
+        try:
+            rel = self.path.relative_to(root)
+        except ValueError:
+            rel = self.path
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def _dotted(node: ast.AST) -> Tuple[str, ...]:
+    """``a.b.c`` -> ("a", "b", "c"); empty when not a plain dotted name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: Path):
+        self.path = path
+        self.findings: List[Finding] = []
+        self._func_stack: List[str] = []
+
+    def _flag(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(Finding(self.path, node.lineno, rule, message))
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._func_stack.append(node.name)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "hash":
+            # hash() inside __hash__ is the idiom for container membership;
+            # the salt only affects in-process placement, and leaking *order*
+            # out of a container is the set-iteration rule's job.
+            if "__hash__" not in self._func_stack:
+                self._flag(node, "hash-builtin",
+                           "builtin hash() is salted per process "
+                           "(PYTHONHASHSEED); derive keys explicitly")
+        dotted = _dotted(func)
+        if len(dotted) >= 2:
+            head, tail = dotted[-2], dotted[-1]
+            if head == "random" and tail in _GLOBAL_RANDOM_FUNCS:
+                self._flag(node, "unseeded-random",
+                           f"module-level random.{tail}() uses the shared "
+                           "process RNG; thread a random.Random(seed)")
+            if (head, tail) in _WALL_CLOCK:
+                self._flag(node, "wall-clock",
+                           f"{head}.{tail}() reads the wall clock; simulated "
+                           "time and summaries must not depend on it")
+        self.generic_visit(node)
+
+    def _is_unordered_set(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+            # set algebra (a | b, a & b, a - b) over sets stays a set; only
+            # flag when a side is syntactically a set, else too noisy.
+            return (self._is_unordered_set(node.left)
+                    or self._is_unordered_set(node.right))
+        return False
+
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_unordered_set(node.iter):
+            self._flag(node, "set-iteration",
+                       "iterating a set directly: order depends on hashing; "
+                       "wrap in sorted(...)")
+        self.generic_visit(node)
+
+
+def iter_python_files(targets: List[Path]) -> Iterator[Path]:
+    for target in targets:
+        if target.is_file():
+            yield target
+        else:
+            yield from sorted(target.rglob("*.py"))
+
+
+def lint(targets: List[Path]) -> Tuple[List[Finding], List[Finding]]:
+    """Returns (violations, allowlisted)."""
+    violations: List[Finding] = []
+    allowed: List[Finding] = []
+    for path in iter_python_files(targets):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        checker = _Checker(path)
+        checker.visit(tree)
+        try:
+            rel = path.resolve().relative_to(REPO_ROOT).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        permitted = ALLOWLIST.get(rel, frozenset())
+        for finding in checker.findings:
+            (allowed if finding.rule in permitted else violations).append(finding)
+    return violations, allowed
+
+
+def main(argv: List[str]) -> int:
+    targets = [Path(p) for p in argv] if argv else [DEFAULT_TARGET]
+    missing = [t for t in targets if not t.exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(map(str, missing))}", file=sys.stderr)
+        return 2
+    violations, allowed = lint(targets)
+    for finding in violations:
+        print(finding.render(REPO_ROOT))
+    if allowed:
+        print(f"({len(allowed)} allowlisted finding(s) suppressed)")
+    if violations:
+        print(f"{len(violations)} determinism hazard(s) found")
+    else:
+        print("determinism lint: clean")
+    return min(len(violations), 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
