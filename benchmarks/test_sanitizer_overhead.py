@@ -1,0 +1,52 @@
+"""Sanitizer-plane overhead benchmark — the cost of running checked.
+
+One fig13 grid point runs twice through the grid runner: once on the
+default path and once with the runtime sanitizer armed (``sanitize=True``:
+tagged scheduling, wrapped links/hosts/tables, quiesce checks).  The BENCH
+artifact records both wall-clocks and their ratio, so the measured price of
+the plane is pinned in the cross-commit ``bench_diff`` trajectory — and the
+summaries are asserted byte-identical, re-proving on every CI run that the
+plane observes without perturbing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.experiments.registry import SCENARIOS
+from repro.experiments.runner import RunContext
+
+from conftest import write_bench_artifact
+
+
+def _canon_summary(result) -> str:
+    return json.dumps(result.summary, sort_keys=True, default=str)
+
+
+def test_sanitizer_overhead(benchmark, experiment_config):
+    spec = SCENARIOS["fig13"].build_specs(experiment_config)[0]
+
+    started = time.perf_counter()
+    base = RunContext(sanitize=False).run(spec)
+    wall_off = time.perf_counter() - started
+
+    held = {}
+
+    def sanitized_run():
+        inner = time.perf_counter()
+        result = RunContext(sanitize=True).run(spec)
+        held["wall_s"] = time.perf_counter() - inner
+        return result
+
+    sanitized = benchmark.pedantic(sanitized_run, rounds=1, iterations=1)
+    assert _canon_summary(sanitized) == _canon_summary(base)
+
+    wall_on = held["wall_s"]
+    write_bench_artifact(
+        "test_sanitizer_overhead", wall_on,
+        extra={
+            "point": f"{spec.name}/{spec.system}",
+            "wall_off_s": round(wall_off, 4),
+            "overhead_ratio": round(wall_on / wall_off, 3) if wall_off else None,
+        })

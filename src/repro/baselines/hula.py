@@ -82,13 +82,21 @@ class HulaSystem(RoutingSystem):
                 self.probe_period, self._failure_check_all, logics,
                 start_delay=self.probe_period * self.failure_periods)
 
+    #: Same-tick rounds the race detector may permute; see ContraSystem.
+    commutable_rounds = ("_probe_all", "_failure_check_all")
+
     @staticmethod
     def _probe_all(origins: List["HulaRouting"]) -> None:
         for logic in origins:
             logic.probe_round()
 
-    @staticmethod
-    def _failure_check_all(logics: List["HulaRouting"]) -> None:
+    def _failure_check_all(self, logics: List["HulaRouting"]) -> None:
+        # Mutually independent per-switch checks; order is undocumented and
+        # shuffled by the race detector when installed (see ContraSystem).
+        rng = self.race_rng
+        if rng is not None:
+            logics = list(logics)
+            rng.shuffle(logics)
         for logic in logics:
             logic.failure_check()
 

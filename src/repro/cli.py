@@ -11,6 +11,11 @@
   cores) and optionally dump the results as JSON; ``--results-dir`` makes the
   run resumable (completed points are skipped on restart) and ``--shard i/n``
   runs a deterministic 1/n slice for scale-out across machines or CI jobs;
+* ``contra race-check`` — re-run a grid scenario's points under seeded
+  permutations of the non-contractual same-tick event orders (see
+  ARCHITECTURE.md §6) and diff the summaries: any divergence is a hidden
+  order dependence, reported with the provenance tags of the first schedule
+  divergence;
 * ``contra merge-results`` — union shard artifacts from a results directory
   into the exact report an unsharded run would have printed;
 * ``contra gc-results`` — garbage-collect a long-lived results directory:
@@ -27,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import replace
 from pathlib import Path
@@ -195,6 +201,11 @@ def _write_outcome_json(path_text: str, outcome, preset: str,
 
 def _cmd_run_grid(args: argparse.Namespace) -> int:
     config = _grid_config(args)
+    if args.sanitize:
+        # Through the environment rather than a parameter: worker processes
+        # inherit it, and spec hashes stay untouched (sanitizing never
+        # re-keys a results store).
+        os.environ["CONTRA_SANITIZE"] = "1"
     shard = None
     if args.shard is not None:
         try:
@@ -236,6 +247,25 @@ def _cmd_run_grid(args: argparse.Namespace) -> int:
     if args.json is not None:
         _write_outcome_json(args.json, outcome, args.preset, args.processes)
     return 0
+
+
+def _cmd_race_check(args: argparse.Namespace) -> int:
+    from repro.experiments.race import race_check
+
+    if args.json is not None and not Path(args.json).parent.is_dir():
+        raise SystemExit(f"--json: directory {Path(args.json).parent} does not exist")
+    try:
+        report = race_check(args.name, _resolve_config(args.preset),
+                            seeds=args.seeds, points=args.points)
+    except ExperimentError as error:
+        raise SystemExit(str(error))
+    print(report.render())
+    if args.json is not None:
+        path = Path(args.json)
+        path.write_text(json.dumps(report.to_json_dict(), indent=2,
+                                   sort_keys=True, default=str) + "\n")
+        print(f"wrote {path}")
+    return 0 if report.ok else 1
 
 
 def _cmd_merge_results(args: argparse.Namespace) -> int:
@@ -376,7 +406,27 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run only a deterministic 1/N slice of the grid "
                                "(round-robin by spec index) into --results-dir; "
                                "union the shards with `contra merge-results`")
+    run_grid.add_argument("--sanitize", action="store_true",
+                          help="run every point under the runtime sanitizer "
+                               "plane (invariant checks + event provenance; "
+                               "summaries are identical, violations abort)")
     run_grid.set_defaults(func=_cmd_run_grid)
+
+    race = sub.add_parser(
+        "race-check",
+        help="re-run grid points under seeded permutations of "
+             "non-contractual same-tick event orders and diff the summaries "
+             "(a divergence is a hidden order dependence)")
+    race.add_argument("name", choices=tuple(scenario_names()))
+    race.add_argument("--seeds", type=int, default=2,
+                      help="permutation seeds per grid point (default 2)")
+    race.add_argument("--points", type=int, default=None,
+                      help="check only the first N grid points (default: all)")
+    race.add_argument("--preset", choices=("quick", "default", "full", "env"),
+                      default="quick")
+    race.add_argument("--json", metavar="PATH", default=None,
+                      help="also dump the race report as JSON to PATH")
+    race.set_defaults(func=_cmd_race_check)
 
     merge = sub.add_parser(
         "merge-results",

@@ -14,7 +14,8 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Sequence, Tuple
 
-__all__ = ["ExperimentConfig", "default_config", "quick_config", "full_config", "config_from_env"]
+__all__ = ["ExperimentConfig", "default_config", "quick_config", "full_config",
+           "config_from_env", "sanitize_from_env", "procs_from_env"]
 
 
 @dataclass(frozen=True)
@@ -110,3 +111,28 @@ def config_from_env() -> ExperimentConfig:
     if preset == "default":
         return default_config()
     return quick_config()
+
+
+def sanitize_from_env() -> Optional[bool]:
+    """Resolve the ``CONTRA_SANITIZE`` environment variable.
+
+    Returns ``None`` when unset (caller falls back to its default), ``False``
+    for ``""``/``"0"``, ``True`` otherwise.  This is the *only* place the
+    sanitizer opt-in touches the environment: the simulator package itself
+    never reads ``os.environ`` (enforced by tools/lint_determinism.py), and
+    the flag deliberately stays out of ``spec_hash`` — sanitizing a run must
+    not re-key its results.
+    """
+    value = os.environ.get("CONTRA_SANITIZE")
+    if value is None:
+        return None
+    return value.strip() not in ("", "0")
+
+
+def procs_from_env() -> str:
+    """Raw ``CONTRA_PROCS`` value (worker-count default for grid runs).
+
+    Centralised here so every environment read outside the CLI lives in this
+    module (lint-enforced); the caller parses and validates.
+    """
+    return os.environ.get("CONTRA_PROCS", "1")

@@ -41,7 +41,8 @@ from repro.core.ast import Policy
 from repro.core.builder import minimize, path, rank_tuple
 from repro.core.compiler import CompiledPolicy, compile_policy
 from repro.exceptions import ExperimentError
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import (ExperimentConfig, procs_from_env,
+                                      sanitize_from_env)
 from repro.protocol import ContraSystem
 from repro.simulator import Network, StatsCollector
 from repro.simulator.flow import Flow
@@ -470,10 +471,18 @@ class RunContext:
     Contra is no longer recompiled for every (system, load, seed) point.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: Optional[bool] = None) -> None:
         self._topologies: Dict[TopologySpec, Topology] = {}
         self._compiled: Dict[Tuple[str, TopologySpec], CompiledPolicy] = {}
         self._workloads: Dict[Tuple, object] = {}
+        #: Sanitizer plane opt-in: explicit argument wins, else the
+        #: CONTRA_SANITIZE environment variable (resolved here, once per
+        #: context, so worker processes pick it up from their environment).
+        #: Deliberately NOT part of spec_hash — sanitizing never re-keys runs.
+        self._sanitize = sanitize if sanitize is not None else sanitize_from_env()
+        #: Test/race-detector hook, called with each freshly built Network
+        #: before its run starts (e.g. to install the race permuter).
+        self.network_hook: Optional[Callable[[Network], None]] = None
 
     # ------------------------------------------------------------------ caches
 
@@ -599,7 +608,10 @@ class RunContext:
             stats=StatsCollector(record_paths=spec.record_paths),
             transport=spec.transport if spec.transport is not None else config.transport,
             host_ack_every=spec.ack_every,
+            sanitize=self._sanitize,
         )
+        if self.network_hook is not None:
+            self.network_hook(network)
 
         run_duration = spec.run_duration if spec.run_duration is not None \
             else config.run_duration
@@ -697,7 +709,7 @@ def resolve_processes(processes: Optional[int], tasks: int) -> int:
     """
     if processes is None:
         try:
-            processes = int(os.environ.get("CONTRA_PROCS", "1"))
+            processes = int(procs_from_env())
         except ValueError:
             processes = 1
     if processes < 1:

@@ -149,13 +149,25 @@ class ContraSystem(RoutingSystem):
                 self.probe_period, self._failure_check_all, logics,
                 start_delay=self.probe_period * self.failure_periods)
 
+    #: Same-tick rounds whose relative heap order is free, not contractual
+    #: (probe origination reads link state, failure checking flips belief
+    #: bits neither round reads back this tick) — the race detector is
+    #: allowed to permute adjacent firings of these.
+    commutable_rounds = ("_probe_all", "_failure_check_all")
+
     @staticmethod
     def _probe_all(origins: List["ContraRouting"]) -> None:
         for logic in origins:
             logic.probe_round()
 
-    @staticmethod
-    def _failure_check_all(logics: List["ContraRouting"]) -> None:
+    def _failure_check_all(self, logics: List["ContraRouting"]) -> None:
+        # Per-switch failure checks are mutually independent (each flips its
+        # own belief bits); the iteration order is undocumented, so the race
+        # detector shuffles it when installed.
+        rng = self.race_rng
+        if rng is not None:
+            logics = list(logics)
+            rng.shuffle(logics)
         for logic in logics:
             logic.failure_check()
 

@@ -111,9 +111,29 @@ class PeriodicEvent:
 
 
 class Simulator:
-    """The event loop shared by every component of one simulation run."""
+    """The event loop shared by every component of one simulation run.
 
-    def __init__(self, batching: Optional[bool] = None) -> None:
+    ``sanitize=True`` constructs a
+    :class:`~repro.simulator.sanitizer.SanitizingSimulator` instead — same
+    schedule, same clock, plus provenance tags and invariant checks.  With
+    sanitize off (the default) this class is byte-for-byte the engine it
+    always was: the sanitizer module is not even imported unless requested,
+    so the hot loop carries zero overhead (ARCHITECTURE.md §6).
+    """
+
+    def __new__(cls, batching: Optional[bool] = None,
+                sanitize: Optional[bool] = None) -> "Simulator":
+        if cls is Simulator:
+            if sanitize is None:
+                from repro.simulator.sanitizer import SANITIZE_DEFAULT
+                sanitize = SANITIZE_DEFAULT
+            if sanitize:
+                from repro.simulator.sanitizer import SanitizingSimulator
+                return super().__new__(SanitizingSimulator)
+        return super().__new__(cls)
+
+    def __init__(self, batching: Optional[bool] = None,
+                 sanitize: Optional[bool] = None) -> None:
         self._now = 0.0
         #: heap of (time, seq, callback, args); seq is unique so comparisons
         #: never inspect the callback.
@@ -302,7 +322,7 @@ class Simulator:
         return self._now
 
 
-def _fire_handle(handle) -> None:
+def _fire_handle(handle: "Event | PeriodicEvent") -> None:
     """Shared trampoline for cancellable and periodic handles.
 
     The run loop recognizes this function by identity to expire cancelled

@@ -34,6 +34,15 @@ class RoutingSystem:
 
     name = "routing"
 
+    #: Race-detector hooks (repro.experiments.race).  ``commutable_rounds``
+    #: names periodic-round methods whose same-tick relative order is *not*
+    #: part of the determinism contract — the race detector may permute
+    #: adjacent same-timestamp firings of these, and ``race_rng`` (when
+    #: installed) additionally shuffles intra-round iteration orders that are
+    #: likewise undocumented.  Both stay inert in normal runs.
+    race_rng = None
+    commutable_rounds: Tuple[str, ...] = ()
+
     def prepare(self, network: "Network") -> None:
         """Called once after all nodes and links exist."""
 
@@ -63,6 +72,7 @@ class Network:
         stats: Optional[StatsCollector] = None,
         transport: str = "fixed",
         host_ack_every: int = 1,
+        sanitize: Optional[bool] = None,
     ):
         if transport not in TRANSPORT_MODES:
             raise SimulationError(
@@ -72,7 +82,9 @@ class Network:
                 f"host_ack_every must be >= 1, got {host_ack_every}")
         self.topology = topology
         self.routing_system = routing_system
-        self.sim = Simulator()
+        self.sim = Simulator(sanitize=sanitize)
+        #: The sanitizer plane, present only when ``sanitize`` resolved true.
+        self.sanitizer = getattr(self.sim, "sanitizer", None)
         self.stats = stats if stats is not None else StatsCollector()
         self.buffer_packets = buffer_packets
         self.util_window = util_window
@@ -89,6 +101,11 @@ class Network:
         self._pending_failures: List[Tuple[float, str, str]] = []
         self._scheduled_flows = 0
         self._build()
+        if self.sanitizer is not None:
+            # After _build so every node and link exists, before anything is
+            # scheduled so the probe lane only ever merges on the wrapped
+            # delivery callables.
+            self.sanitizer.instrument_network(self)
 
     # ------------------------------------------------------------------ build
 
@@ -219,4 +236,6 @@ class Network:
             self.stats.watch_completion(self._scheduled_flows, self.sim.stop)
         self.routing_system.start(self)
         self.sim.run(until=duration)
+        if self.sanitizer is not None:
+            self.sanitizer.finish(self)
         return self.stats

@@ -192,6 +192,13 @@ class StatsCollector:
         else:
             self.drops += 1
 
+    def record_switch_drop(self, packet: "Packet") -> None:
+        """A switch discarded a packet it could not forward (TTL expiry, no
+        route, no port).  Routed through a method — rather than the switches
+        bumping :attr:`drops` inline — so the sanitizer's conservation ledger
+        can observe every drop source."""
+        self.drops += 1
+
     def record_queue_length(self, link: "SimLink", length: int) -> None:
         self.queue_histogram.record(length)
 

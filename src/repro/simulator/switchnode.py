@@ -163,16 +163,16 @@ class SwitchNode:
 
         packet.ttl -= 1
         if packet.ttl <= 0:
-            self.stats.drops += 1
+            self.stats.record_switch_drop(packet)
             return
 
         next_hop = self.routing.on_data_packet(packet, inport)
         if next_hop is None:
-            self.stats.drops += 1
+            self.stats.record_switch_drop(packet)
             return
         link = self.ports.get(next_hop)
         if link is None:
-            self.stats.drops += 1
+            self.stats.record_switch_drop(packet)
             return
         if packet.kind == "data":
             self.stats.data_packets_forwarded += 1

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.builder import minimize, path, rank_tuple
@@ -34,6 +36,27 @@ if not HAVE_NUMPY:
         "unit/test_wave_prefilter.py",
         "unit/test_workloads.py",
     ]
+
+
+@pytest.fixture(autouse=True)
+def sanitized_sim(request, monkeypatch):
+    """Flip every Simulator in the test to sanitized mode under CONTRA_SANITIZE=1.
+
+    The sanitized-tier CI job re-runs the whole unit suite with the runtime
+    sanitizer plane armed, so any invariant the production code trips shows up
+    as a test failure.  Tests that assert on exact ``Simulator`` internals
+    (heap layout, subclass identity) opt out with ``@pytest.mark.no_sanitize``.
+    Without the env var this fixture is a no-op, keeping the default tier-1
+    profile byte-for-byte on the unsanitized path.
+    """
+    if os.environ.get("CONTRA_SANITIZE", "0") in ("", "0") \
+            or request.node.get_closest_marker("no_sanitize"):
+        yield
+        return
+    from repro.simulator import sanitizer
+
+    monkeypatch.setattr(sanitizer, "SANITIZE_DEFAULT", True)
+    yield
 
 
 @pytest.fixture

@@ -119,6 +119,22 @@ class TestSpecHash:
         assert canonical["topology"]["family"] == "fattree"
         assert canonical["config"]["loads"] == (0.4,)
 
+    def test_sanitize_stays_out_of_the_spec_hash(self, monkeypatch):
+        """The sanitizer plane is an *observer*, not part of the experiment:
+        `--sanitize` / CONTRA_SANITIZE must never perturb store keys, or a
+        sanitized sweep could not resume an unsanitized one."""
+        import dataclasses
+
+        spec = tiny_specs()[0]
+        field_names = {f.name for f in dataclasses.fields(ScenarioSpec)}
+        assert "sanitize" not in field_names
+        # Canonicalization covers exactly the spec fields — nothing ambient.
+        assert set(canonical_spec(spec)) == field_names
+        monkeypatch.delenv("CONTRA_SANITIZE", raising=False)
+        base = spec_hash(spec)
+        monkeypatch.setenv("CONTRA_SANITIZE", "1")
+        assert spec_hash(spec) == base
+
 
 class TestResultsStore:
     def _result(self):

@@ -21,6 +21,23 @@ invariant has historically broken in Python codebases:
   comprehension, or ``set(...)`` call without an ordering wrapper: iteration
   order depends on insertion history and hash salting.
 
+Three scoped rules (PR 8) tighten the net where a hazard is only a hazard in
+certain layers:
+
+* ``sim-wall-clock`` — ``time.perf_counter``/``process_time`` (and ``_ns``
+  variants) inside ``src/repro/simulator/``: the general wall-clock rule
+  allows ``perf_counter`` for *reported* timings, but nothing under the
+  simulator may read any host clock at all — the sanitizer plane asserts
+  event-time monotonicity against the simulated clock only.
+* ``id-ordering`` — ``id()`` calls inside ``src/repro/simulator/`` or
+  ``src/repro/protocol/`` (outside ``__repr__``): CPython addresses vary per
+  run, so ordering or keying on them is hidden nondeterminism.  Identity
+  *comparison* (``is``) stays fine; materializing the address is the hazard.
+* ``env-read`` — ``os.environ``/``os.getenv`` outside the two sanctioned
+  entry points (``src/repro/cli.py``, ``src/repro/experiments/config.py``):
+  environment reads scattered through library code make runs depend on
+  ambient state in ways spec hashes cannot see.
+
 Audited exceptions live in :data:`ALLOWLIST`, keyed by path relative to the
 repository root; each entry names the rules it may violate and must carry a
 justification comment.  Run from the repo root::
@@ -59,6 +76,26 @@ _WALL_CLOCK = {
     ("date", "today"),
 }
 
+#: Additional clocks banned *inside the simulator package* (sim-wall-clock):
+#: perf_counter is fine for reported compile/benchmark timings elsewhere, but
+#: simulator code must be a pure function of the event heap.
+_SIM_WALL_CLOCK = {
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("time", "process_time_ns"),
+}
+
+#: Package prefixes where the scoped rules apply (POSIX-relative paths).
+_SIM_PREFIX = "src/repro/simulator/"
+_ID_PREFIXES = ("src/repro/simulator/", "src/repro/protocol/")
+
+#: The only files allowed to read the process environment (env-read).
+_ENV_ALLOWED_FILES = frozenset({
+    "src/repro/cli.py",
+    "src/repro/experiments/config.py",
+})
+
 #: path (relative to repo root, POSIX separators) -> rules audited as safe.
 #: Every entry must carry a comment justifying the audit.  Currently empty:
 #: the tree is clean (flow hashing already goes through the deterministic
@@ -96,6 +133,10 @@ def _dotted(node: ast.AST) -> Tuple[str, ...]:
 class _Checker(ast.NodeVisitor):
     def __init__(self, path: Path):
         self.path = path
+        try:
+            self.rel = path.resolve().relative_to(REPO_ROOT).as_posix()
+        except ValueError:
+            self.rel = path.as_posix()
         self.findings: List[Finding] = []
         self._func_stack: List[str] = []
 
@@ -119,6 +160,13 @@ class _Checker(ast.NodeVisitor):
                 self._flag(node, "hash-builtin",
                            "builtin hash() is salted per process "
                            "(PYTHONHASHSEED); derive keys explicitly")
+        if isinstance(func, ast.Name) and func.id == "id" \
+                and self.rel.startswith(_ID_PREFIXES) \
+                and "__repr__" not in self._func_stack:
+            self._flag(node, "id-ordering",
+                       "id() materializes a per-run CPython address; ordering "
+                       "or keying on it is hidden nondeterminism (use `is` "
+                       "for identity tests)")
         dotted = _dotted(func)
         if len(dotted) >= 2:
             head, tail = dotted[-2], dotted[-1]
@@ -130,6 +178,28 @@ class _Checker(ast.NodeVisitor):
                 self._flag(node, "wall-clock",
                            f"{head}.{tail}() reads the wall clock; simulated "
                            "time and summaries must not depend on it")
+            if (head, tail) in _SIM_WALL_CLOCK \
+                    and self.rel.startswith(_SIM_PREFIX):
+                self._flag(node, "sim-wall-clock",
+                           f"{head}.{tail}() inside the simulator package: "
+                           "sim code must be a pure function of the event "
+                           "heap, never a host clock")
+            if dotted[-2:] == ("os", "getenv") \
+                    and self.rel not in _ENV_ALLOWED_FILES:
+                self._flag(node, "env-read",
+                           "os.getenv() outside the CLI/config entry points; "
+                           "route ambient configuration through "
+                           "repro.experiments.config")
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr == "environ" and isinstance(node.value, ast.Name) \
+                and node.value.id == "os" \
+                and self.rel not in _ENV_ALLOWED_FILES:
+            self._flag(node, "env-read",
+                       "os.environ access outside the CLI/config entry "
+                       "points; route ambient configuration through "
+                       "repro.experiments.config")
         self.generic_visit(node)
 
     def _is_unordered_set(self, node: ast.AST) -> bool:
