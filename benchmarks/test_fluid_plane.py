@@ -1,0 +1,87 @@
+"""Fluid-plane benchmarks: fidelity table and the million-flow headline.
+
+Two quick-preset benchmarks drop ``BENCH_fluid_*.json`` artifacts into the
+cached CI baseline alongside the figure benchmarks:
+
+* ``fluid-vs-packet`` — the standing fidelity evidence: every point of the
+  validation grids runs under both planes and the report prints the
+  median/p99 FCT deltas side by side.
+* ``fluid-million`` — the scaling headline: a k=8 fat-tree point sized at
+  10^5 flows under the quick preset (10^6 under default/full), with failure
+  churn and the HyperLogLog flow sketch enabled.  The artifact records the
+  realised flow and epoch counts next to the wall clock, so bench_diff
+  tracks cost *per epoch*, not just end-to-end seconds.
+
+The ``slow``-marked test pins the paper-scale claim exactly — ≥10^6 flows on
+one core — independent of the preset; enable it with ``pytest -m ""``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.registry import run_scenario
+from repro.experiments.fluid_scale import fluid_million_specs
+from repro.experiments.report import format_fluid_million
+from repro.experiments.runner import run_grid
+
+from conftest import run_once, write_bench_artifact
+
+
+@pytest.mark.benchmark(group="fluid")
+def test_fluid_vs_packet_fidelity(benchmark, experiment_config):
+    outcome = run_once(benchmark, run_scenario, "fluid-vs-packet",
+                       experiment_config)
+    print()
+    print(outcome.text)
+    points = outcome.payload
+    assert points, "fidelity grid produced no comparison points"
+    for point in points:
+        assert point["fluid_flows"] > 0 and point["packet_flows"] > 0
+        assert point["p50_delta_pct"] == point["p50_delta_pct"]  # not NaN
+
+
+@pytest.mark.benchmark(group="fluid")
+def test_fluid_million_scale(benchmark, experiment_config):
+    started = time.perf_counter()
+    outcome = run_once(benchmark, run_scenario, "fluid-million",
+                       experiment_config)
+    wall_s = time.perf_counter() - started
+    print()
+    print(outcome.text)
+    detail = {}
+    for row in outcome.payload:
+        summary = row["summary"]
+        assert summary["completion_ratio"] >= 0.99
+        assert summary["epochs"] > 0
+        assert summary["flow_sketch_switches"] > 0
+        detail[row["system"]] = {"flows": int(summary["flows"]),
+                                 "completed_flows": int(summary["completed_flows"]),
+                                 "epochs": int(summary["epochs"])}
+    write_bench_artifact("fluid_million_detail", wall_s, extra=detail)
+
+
+@pytest.mark.slow
+def test_fluid_million_full_scale(experiment_config):
+    """The paper-scale claim, preset-independent: one ≥10^6-flow fluid point
+    completes on one core in minutes, and the artifact records the wall
+    clock and epoch count that back the number."""
+    specs = fluid_million_specs(experiment_config, systems=("contra",),
+                                flow_target=1_000_000)
+    started = time.perf_counter()
+    results = run_grid(specs, processes=1)
+    wall_s = time.perf_counter() - started
+    print()
+    print(format_fluid_million(results))
+    summary = results[0].summary
+    # Poisson arrivals fluctuate ~±0.3% around the 10^6 target.
+    assert summary["flows"] >= 990_000
+    assert summary["completion_ratio"] >= 0.99
+    write_bench_artifact(
+        "fluid_million_full", wall_s,
+        extra={"flows": int(summary["flows"]),
+               "completed_flows": int(summary["completed_flows"]),
+               "epochs": int(summary["epochs"])})
+    assert wall_s < 1800, f"million-flow point took {wall_s:.0f}s"

@@ -16,16 +16,18 @@ from repro.simulator.network import Network, RoutingSystem
 from repro.simulator.packet import Packet
 from repro.simulator.switchnode import RoutingLogic
 
-__all__ = ["EcmpSystem", "ShortestPathSystem"]
+__all__ = ["EcmpSystem", "ShortestPathSystem", "next_hop_table"]
 
 
-def _next_hop_table(network: Network, all_hops: bool) -> Dict[str, Dict[str, List[str]]]:
+def next_hop_table(topology, all_hops: bool) -> Dict[str, Dict[str, List[str]]]:
     """For every switch, the shortest-path next hops towards every other switch.
 
     ``all_hops`` keeps every equal-cost next hop (ECMP); otherwise only the
-    lexicographically first one (single shortest path).
+    lexicographically first one (single shortest path).  Takes a bare
+    :class:`~repro.topology.graph.Topology` so both the packet systems and
+    the fluid path models (:mod:`repro.simulator.fluid`) share one table
+    computation.
     """
-    topology = network.topology
     table: Dict[str, Dict[str, List[str]]] = {s: {} for s in topology.switches}
     lengths = topology.shortest_path_lengths()
     for src in topology.switches:
@@ -81,7 +83,7 @@ class EcmpSystem(RoutingSystem):
         self._table: Dict[str, Dict[str, List[str]]] = {}
 
     def prepare(self, network: Network) -> None:
-        self._table = _next_hop_table(network, all_hops=self._all_hops)
+        self._table = next_hop_table(network.topology, all_hops=self._all_hops)
 
     def create_switch_logic(self, switch: str) -> RoutingLogic:
         return _HashingLogic(self)

@@ -232,7 +232,8 @@ def _cmd_run_grid(args: argparse.Namespace) -> int:
         try:
             outcome = run_scenario_shard(args.name, config, args.results_dir,
                                          shard_index=shard[0], shard_count=shard[1],
-                                         processes=args.processes)
+                                         processes=args.processes,
+                                         flow_model=args.flow_model)
         except (KeyError, ExperimentError) as error:
             raise SystemExit(str(error))
         print(outcome.text)
@@ -240,7 +241,8 @@ def _cmd_run_grid(args: argparse.Namespace) -> int:
 
     try:
         outcome = run_scenario(args.name, config, processes=args.processes,
-                               results_dir=args.results_dir)
+                               results_dir=args.results_dir,
+                               flow_model=args.flow_model)
     except (KeyError, ExperimentError) as error:
         raise SystemExit(str(error))
     print(outcome.text)
@@ -275,7 +277,8 @@ def _cmd_merge_results(args: argparse.Namespace) -> int:
     if args.json is not None and not Path(args.json).parent.is_dir():
         raise SystemExit(f"--json: directory {Path(args.json).parent} does not exist")
     try:
-        outcome = merge_scenario(args.name, config, args.results_dir)
+        outcome = merge_scenario(args.name, config, args.results_dir,
+                                 flow_model=args.flow_model)
     except (KeyError, ExperimentError) as error:
         raise SystemExit(str(error))
     print(outcome.text)
@@ -313,7 +316,8 @@ def _cmd_gc_results(args: argparse.Namespace) -> int:
     if not Path(args.results_dir).is_dir():
         raise SystemExit(f"--results-dir: {args.results_dir} does not exist")
     try:
-        summary = gc_scenario(args.name, config, args.results_dir)
+        summary = gc_scenario(args.name, config, args.results_dir,
+                              flow_model=args.flow_model)
     except (KeyError, ExperimentError) as error:
         raise SystemExit(str(error))
     print(f"{args.name}: kept {summary['kept']} of {summary['total_records']} "
@@ -396,6 +400,11 @@ def build_parser() -> argparse.ArgumentParser:
                                "at flow start, the default), slowstart (slow start "
                                "+ AIMD + fast retransmit) or paced (slowstart + "
                                "per-RTT pacing)")
+    run_grid.add_argument("--flow-model", choices=("packet", "fluid"), default=None,
+                          help="data path for every grid point: packet (per-packet "
+                               "events, the default) or fluid (epoch-driven "
+                               "max-min rate allocation; scenarios that pin a "
+                               "flow model per point reject the override)")
     run_grid.add_argument("--json", metavar="PATH", default=None,
                           help="also dump the scenario results as JSON to PATH")
     run_grid.add_argument("--results-dir", metavar="DIR", default=None,
@@ -440,6 +449,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "grid is rebuilt from it to key the lookups)")
     merge.add_argument("--transport", choices=TRANSPORT_MODES, default=None,
                        help="must match the --transport the shards ran with")
+    merge.add_argument("--flow-model", choices=("packet", "fluid"), default=None,
+                       help="must match the --flow-model the shards ran with")
     merge.add_argument("--json", metavar="PATH", default=None,
                        help="also dump the merged results as JSON to PATH")
     merge.add_argument("--bench-artifact", metavar="PATH", default=None,
@@ -460,6 +471,8 @@ def build_parser() -> argparse.ArgumentParser:
                          "records keyed outside it are dropped")
     gc.add_argument("--transport", choices=TRANSPORT_MODES, default=None,
                     help="must match the --transport the kept shards ran with")
+    gc.add_argument("--flow-model", choices=("packet", "fluid"), default=None,
+                    help="must match the --flow-model the kept shards ran with")
     gc.set_defaults(func=_cmd_gc_results)
     return parser
 

@@ -52,6 +52,11 @@ from repro.experiments.fct import (
     to_fct_points,
     transport_sensitivity_specs,
 )
+from repro.experiments.fluid_scale import (
+    fluid_fidelity_specs,
+    fluid_million_specs,
+    to_fidelity_points,
+)
 from repro.experiments.overhead import overhead_specs, to_overhead_points
 from repro.experiments.results import (
     ResultsStore,
@@ -226,6 +231,19 @@ def _flow_size_finish(config: ExperimentConfig,
                            [asdict(r) for r in results])
 
 
+def _fidelity_finish(config: ExperimentConfig,
+                     results: List[RunResult]) -> ScenarioOutcome:
+    points = to_fidelity_points(results)
+    return ScenarioOutcome("fluid-vs-packet", report.format_fidelity(points),
+                           [asdict(p) for p in points])
+
+
+def _fluid_million_finish(config: ExperimentConfig,
+                          results: List[RunResult]) -> ScenarioOutcome:
+    return ScenarioOutcome("fluid-million", report.format_fluid_million(results),
+                           [asdict(r) for r in results])
+
+
 # ------------------------------------------------------------ legacy scenarios
 
 def _fig9_10(config: ExperimentConfig, processes: Optional[int]) -> ScenarioOutcome:
@@ -286,6 +304,8 @@ SCENARIOS: Dict[str, Union[GridScenario,
                                           _transport_finish),
     "flow-size-sensitivity": GridScenario(flow_size_sensitivity_specs,
                                           _flow_size_finish),
+    "fluid-vs-packet": GridScenario(fluid_fidelity_specs, _fidelity_finish),
+    "fluid-million": GridScenario(fluid_million_specs, _fluid_million_finish),
 }
 
 
@@ -317,18 +337,50 @@ def _grid_scenario(name: str) -> GridScenario:
     return entry
 
 
+def _with_flow_model(name: str, specs: List[ScenarioSpec],
+                     flow_model: Optional[str]) -> List[ScenarioSpec]:
+    """Apply the ``--flow-model`` override to a scenario's grid.
+
+    Scenarios that already select flow models per grid point (fluid-vs-packet
+    runs both planes by design, fluid-million pins fluid) reject the override
+    — rewriting their specs would either collapse the comparison or silently
+    re-key every point — mirroring how ``--transport`` refuses
+    'transport-sensitivity'.
+    """
+    if flow_model is None:
+        return specs
+    pinned = sorted({spec.flow_model for spec in specs
+                     if spec.flow_model != "packet"})
+    if pinned:
+        raise ExperimentError(
+            f"scenario {name!r} selects flow models per grid point "
+            f"({pinned}); --flow-model cannot override it")
+    if flow_model == "packet":
+        return specs
+    return [replace(spec, flow_model=flow_model) for spec in specs]
+
+
+def _build_specs(name: str, entry: GridScenario, config: ExperimentConfig,
+                 flow_model: Optional[str]) -> List[ScenarioSpec]:
+    return _with_flow_model(name, entry.build_specs(config), flow_model)
+
+
 def run_scenario(name: str, config: ExperimentConfig,
                  processes: Optional[int] = None,
-                 results_dir: Optional[str] = None) -> ScenarioOutcome:
+                 results_dir: Optional[str] = None,
+                 flow_model: Optional[str] = None) -> ScenarioOutcome:
     """Execute one named scenario end to end; raises KeyError for unknown names.
 
     ``results_dir`` (grid scenarios only) makes the run resumable: completed
     points are loaded from the store and skipped, fresh points are appended
     as they finish, and the outcome is identical to an uninterrupted run.
+    ``flow_model`` (grid scenarios only) re-points every spec of the grid at
+    the named data path; specs re-pointed at ``"fluid"`` hash differently, so
+    packet and fluid runs of one scenario never collide in a store.
     """
     entry = _scenario(name)
     if isinstance(entry, GridScenario):
-        specs = entry.build_specs(config)
+        specs = _build_specs(name, entry, config, flow_model)
         if results_dir is not None:
             store = ResultsStore(results_dir)
             backend = ShardedBackend(store,
@@ -339,12 +391,17 @@ def run_scenario(name: str, config: ExperimentConfig,
         return entry.finish(config, results)
     if results_dir is not None:
         _grid_scenario(name)                # raises the authoritative error
+    if flow_model is not None:
+        raise ExperimentError(
+            f"scenario {name!r} is not a single spec grid; --flow-model only "
+            f"applies to grid scenarios: {shardable_scenario_names()}")
     return entry(config, processes)
 
 
 def run_scenario_shard(name: str, config: ExperimentConfig, results_dir: str,
                        shard_index: int, shard_count: int,
-                       processes: Optional[int] = None) -> ShardOutcome:
+                       processes: Optional[int] = None,
+                       flow_model: Optional[str] = None) -> ShardOutcome:
     """Execute one deterministic 1/n slice of a grid scenario into a store.
 
     Shard ``i`` owns every spec at position ``p`` with ``p % n == i`` of the
@@ -353,7 +410,7 @@ def run_scenario_shard(name: str, config: ExperimentConfig, results_dir: str,
     :func:`merge_scenario` produces the exact unsharded outcome.
     """
     entry = _grid_scenario(name)
-    specs = entry.build_specs(config)
+    specs = _build_specs(name, entry, config, flow_model)
     store = ResultsStore(results_dir, shard_index, shard_count)
     backend = ShardedBackend(store, inner=default_backend(processes, len(specs)))
     started = time.perf_counter()
@@ -374,7 +431,8 @@ def run_scenario_shard(name: str, config: ExperimentConfig, results_dir: str,
     )
 
 
-def gc_scenario(name: str, config: ExperimentConfig, results_dir: str) -> Dict[str, int]:
+def gc_scenario(name: str, config: ExperimentConfig, results_dir: str,
+                flow_model: Optional[str] = None) -> Dict[str, int]:
     """Garbage-collect ``results_dir`` against the scenario's current grid.
 
     Records whose spec hash the scenario (under this config) no longer
@@ -383,11 +441,12 @@ def gc_scenario(name: str, config: ExperimentConfig, results_dir: str) -> Dict[s
     :func:`repro.experiments.results.gc_results` for the exact contract.
     """
     entry = _grid_scenario(name)
-    return gc_results(entry.build_specs(config), results_dir)
+    return gc_results(_build_specs(name, entry, config, flow_model), results_dir)
 
 
 def merge_scenario(name: str, config: ExperimentConfig,
-                   results_dir: str) -> ScenarioOutcome:
+                   results_dir: str,
+                   flow_model: Optional[str] = None) -> ScenarioOutcome:
     """Union the shard artifacts in ``results_dir`` into the full outcome.
 
     Runs nothing: every grid point must already be in the store (any shard
@@ -395,6 +454,6 @@ def merge_scenario(name: str, config: ExperimentConfig,
     :func:`run_scenario` under the same config produces.
     """
     entry = _grid_scenario(name)
-    specs = entry.build_specs(config)
+    specs = _build_specs(name, entry, config, flow_model)
     results = collect_results(specs, ResultsStore(results_dir))
     return entry.finish(config, results)

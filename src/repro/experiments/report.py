@@ -22,6 +22,8 @@ __all__ = [
     "format_overhead",
     "format_ablation",
     "format_transport",
+    "format_fidelity",
+    "format_fluid_million",
 ]
 
 
@@ -199,4 +201,42 @@ def format_ablation(points, title: str = "Ablation") -> str:
              p.overhead_ratio, f"{p.completed}/{p.flows}") for p in points]
     return format_table(
         ("parameter", "value", "avg_fct_ms", "loop_frac", "loop_det", "overhead", "completed"),
+        rows, title=title)
+
+
+def format_fidelity(points,
+                    title: str = "Fluid vs packet: FCT fidelity "
+                                 "(delta % = fluid relative to packet)") -> str:
+    """Rows over :class:`~repro.experiments.fluid_scale.FidelityPoint`\\ s."""
+    rows = [(p.fabric, p.system, f"{round(p.load * 100)}%",
+             f"{p.fluid_flows}/{p.packet_flows}",
+             p.packet_p50_ms, p.fluid_p50_ms, p.p50_delta_pct,
+             p.packet_p99_ms, p.fluid_p99_ms, p.p99_delta_pct)
+            for p in points]
+    return format_table(
+        ("fabric", "system", "load", "flows f/p", "pkt_p50", "fluid_p50",
+         "d50_%", "pkt_p99", "fluid_p99", "d99_%"),
+        rows, title=title)
+
+
+def format_fluid_million(results,
+                         title: str = "Fluid million-flow scale "
+                                      "(epoch-driven max-min plane)") -> str:
+    """Rows over the fluid-million :class:`RunResult`\\ s."""
+    rows = []
+    for r in results:
+        summary = r.summary
+        rows.append((r.system,
+                     f"{int(summary.get('completed_flows', 0))}/"
+                     f"{int(summary.get('flows', 0))}",
+                     int(summary.get("epochs", 0)),
+                     summary.get("avg_fct_ms", float("nan")),
+                     summary.get("p50_fct_ms", float("nan")),
+                     summary.get("p99_fct_ms", float("nan")),
+                     summary.get("flow_sketch_max_flows", float("nan")),
+                     summary.get("flow_sketch_mean_flows", float("nan")),
+                     int(summary.get("failure_detections", 0))))
+    return format_table(
+        ("system", "completed", "epochs", "avg_fct_ms", "p50_fct_ms",
+         "p99_fct_ms", "sketch_max", "sketch_mean", "detections"),
         rows, title=title)

@@ -46,6 +46,8 @@ from repro.experiments.config import (ExperimentConfig, procs_from_env,
 from repro.protocol import ContraSystem
 from repro.simulator import Network, StatsCollector
 from repro.simulator.flow import Flow
+from repro.simulator.fluid import (FLUID_SYSTEM_NAMES, FluidSimulation,
+                                   FluidStats, build_path_model)
 from repro.topology.abilene import abilene
 from repro.topology.fattree import fattree
 from repro.topology.graph import Topology
@@ -53,7 +55,9 @@ from repro.topology.leafspine import leafspine
 from repro.topology.random_graphs import random_network
 from repro.topology.zoo import builtin_topology
 from repro.workloads import distribution_by_name, generate_workload
-from repro.workloads.generator import incast_pairs, permutation_pairs
+from repro.workloads.generator import (incast_pairs, permutation_pairs,
+                                       split_senders_receivers,
+                                       stream_workload)
 
 __all__ = [
     "SimulationResult",
@@ -405,13 +409,40 @@ class ScenarioSpec:
     cdf_points: Tuple[float, ...] = ()           # collect the queue-length CDF
     collect_throughput: bool = False             # collect the throughput series
 
+    # Data path selection (v3 hash fields; at these defaults they are omitted
+    # from the canonical form, so packet-default spec hashes predating the
+    # fields keep resolving in existing results stores).
+    #: Which simulation plane executes the point: "packet" (the default and
+    #: the validation oracle) or "fluid" (epoch-driven max-min rate
+    #: allocation — see ARCHITECTURE.md §7 for what it does and doesn't model).
+    flow_model: str = "packet"
+    #: Opt-in per-switch flow-cardinality HyperLogLog sketch (fluid only:
+    #: the packet plane never feeds the sketch, so it would silently report
+    #: nothing there).
+    flow_sketch: bool = False
+    #: Extra FCT percentiles reported as ``p<q>_fct_ms`` summary keys
+    #: (both planes; the fidelity scenario compares medians through this).
+    fct_percentiles: Tuple[float, ...] = ()
+
 
 # ---------------------------------------------------------------- spec hashing
 
 #: Bumped whenever the canonical spec encoding changes shape, so stale results
 #: stores can never satisfy a lookup from a newer encoder.  v2: ScenarioSpec
-#: gained ``ack_every``.
-_SPEC_HASH_VERSION = 2
+#: gained ``ack_every``.  v3: ``flow_model`` / ``flow_sketch`` /
+#: ``fct_percentiles`` — encoded *only* when set away from their defaults
+#: (and the version tag stays 2 when none is), so every pre-existing
+#: packet-default hash keeps resolving in long-lived results stores.
+_SPEC_HASH_VERSION = 3
+
+#: The v3 fields and the default under which each is omitted from the
+#: canonical form.  Appending to this dict (never mutating an entry) is the
+#: established pattern for adding spec fields without re-keying old stores.
+_V3_FIELDS: Dict[str, object] = {
+    "flow_model": "packet",
+    "flow_sketch": False,
+    "fct_percentiles": (),
+}
 
 
 def canonical_spec(spec: ScenarioSpec) -> Dict:
@@ -425,13 +456,19 @@ def canonical_spec(spec: ScenarioSpec) -> Dict:
     * ``events`` entries given as bare ``(time, a, b, action)`` tuples are
       normalized to :class:`LinkEvent` first, so the two accepted spellings
       of the same schedule hash identically;
+    * the :data:`_V3_FIELDS` entries are dropped when equal to their default
+      (a default-valued new field must not re-key every old store record);
     * tuples become JSON arrays; nothing else is transformed — in particular
-      *no* field is dropped, so two specs that differ anywhere (including the
-      config) never collide by construction.
+      no *other* field is ever dropped, so two specs that differ anywhere
+      (including the config) never collide by construction.
     """
     events = tuple(event if isinstance(event, LinkEvent) else LinkEvent(*event)
                    for event in spec.events)
-    return asdict(replace(spec, events=events))
+    canonical = asdict(replace(spec, events=events))
+    for name, default in _V3_FIELDS.items():
+        if canonical[name] == default:
+            del canonical[name]
+    return canonical
 
 
 def spec_hash(spec: ScenarioSpec) -> str:
@@ -442,8 +479,16 @@ def spec_hash(spec: ScenarioSpec) -> str:
     interpreter invocations and platforms (CPython's shortest-repr float
     serialization is deterministic, and no randomized ``hash()`` is
     involved), which is what makes results stores shardable and resumable.
+
+    Specs whose v3 fields all sit at their defaults hash under version tag 2
+    — byte-identical payloads to the pre-v3 encoder — so resuming an old
+    packet results store under the new encoder skips exactly the points it
+    already holds.
     """
-    payload = json.dumps({"v": _SPEC_HASH_VERSION, "spec": canonical_spec(spec)},
+    canonical = canonical_spec(spec)
+    version = _SPEC_HASH_VERSION \
+        if any(name in canonical for name in _V3_FIELDS) else 2
+    payload = json.dumps({"v": version, "spec": canonical},
                          sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -576,7 +621,124 @@ class RunContext:
                 f"incast_fanin/incast_receiver require traffic='incast', "
                 f"got traffic={spec.traffic!r}")
 
+    @staticmethod
+    def _validate_fluid_fields(spec: ScenarioSpec) -> None:
+        """Reject spec fields the fluid plane would silently ignore.
+
+        The fluid model has no segments, windows, probes or queues, so every
+        packet-plane knob that would change nothing must fail loudly — a
+        silently dropped field would let two meaningfully different specs
+        produce identical runs (the same contract
+        :meth:`TopologySpec._reject_unsupported` enforces for topologies).
+        """
+        if spec.system not in FLUID_SYSTEM_NAMES:
+            raise ExperimentError(
+                f"flow_model='fluid' does not support system {spec.system!r}; "
+                f"available: {FLUID_SYSTEM_NAMES}")
+        if spec.traffic == "streams":
+            raise ExperimentError(
+                "flow_model='fluid' models flow arrivals, not constant-rate "
+                "UDP streams; use the packet plane for traffic='streams'")
+        rejected = [
+            ("transport", spec.transport, None),
+            ("ack_every", spec.ack_every, 1),
+            ("record_paths", spec.record_paths, False),
+            ("cdf_points", spec.cdf_points, ()),
+            ("collect_throughput", spec.collect_throughput, False),
+            ("probe_period", spec.probe_period, None),
+            ("flowlet_timeout", spec.flowlet_timeout, None),
+            ("respect_compiled_probe_period",
+             spec.respect_compiled_probe_period, False),
+            ("use_versioning", spec.use_versioning, True),
+        ]
+        for name, value, default in rejected:
+            if value != default:
+                raise ExperimentError(
+                    f"spec field {name}={value!r} has no fluid-plane "
+                    f"equivalent (packets, probes and queues are not "
+                    f"modelled); leave it at its default or use "
+                    f"flow_model='packet'")
+
+    #: Expected flow count above which the fluid plane streams the workload
+    #: lazily (seed-deterministic, O(senders) memory) instead of
+    #: materializing the eager list.  The two draws differ, so the threshold
+    #: is part of the determinism contract — never derive it from available
+    #: memory or core count.
+    _STREAM_THRESHOLD = 100_000
+
+    def _fluid_flows(self, spec: ScenarioSpec, topology: Topology):
+        """The fluid run's flow source: eager list, or a lazy stream at scale."""
+        config = spec.config
+        if spec.traffic == "flows":
+            scale = self._workload_scale(spec)
+            distribution = distribution_by_name(spec.workload, scale)
+            if spec.senders is not None:
+                sender_count = len(spec.senders)
+            else:
+                sender_count = len(split_senders_receivers(topology)[0])
+            host_rate = spec.workload_host_rate or config.host_capacity
+            expected = (sender_count * spec.load * host_rate
+                        / distribution.mean() * config.workload_duration)
+            if expected >= self._STREAM_THRESHOLD:
+                stream = stream_workload(
+                    topology, distribution, load=spec.load,
+                    duration=config.workload_duration,
+                    host_capacity=host_rate, seed=spec.seed,
+                    senders=list(spec.senders) if spec.senders else None,
+                    receivers=list(spec.receivers) if spec.receivers else None,
+                    pair_senders_receivers=spec.pair_senders_receivers,
+                    start_after=config.warmup)
+                return iter(stream)
+        return self._flows(spec, topology)
+
+    def _run_fluid(self, spec: ScenarioSpec) -> RunResult:
+        self._validate_traffic_fields(spec)
+        self._validate_fluid_fields(spec)
+        topology = self.topology(spec.topology)
+        config = spec.config
+        model = build_path_model(spec.system, topology, policy=spec.policy)
+        simulation = FluidSimulation(
+            topology, model,
+            stats=FluidStats(fct_percentiles=spec.fct_percentiles,
+                             flow_sketch=spec.flow_sketch),
+            host_window=config.host_window,
+            sanitize=self._sanitize,
+        )
+        simulation.add_flows(self._fluid_flows(spec, topology))
+        for event in self._link_events(spec, topology):
+            if event.action == "fail":
+                simulation.fail_link(event.a, event.b, at_time=event.time)
+            elif event.action == "recover":
+                simulation.recover_link(event.a, event.b, at_time=event.time)
+            else:
+                raise ExperimentError(
+                    f"unknown link event action {event.action!r} "
+                    f"(expected 'fail' or 'recover')")
+        run_duration = spec.run_duration if spec.run_duration is not None \
+            else config.run_duration
+        stats = simulation.run(run_duration,
+                               stop_after_completion=spec.stop_after_completion)
+        return RunResult(
+            name=spec.name,
+            system=spec.system,
+            workload=spec.workload,
+            load=spec.load,
+            seed=spec.seed,
+            summary=stats.summary(),
+        )
+
     def run(self, spec: ScenarioSpec) -> RunResult:
+        if spec.flow_model == "fluid":
+            return self._run_fluid(spec)
+        if spec.flow_model != "packet":
+            raise ExperimentError(
+                f"unknown flow model {spec.flow_model!r} "
+                f"(expected 'packet' or 'fluid')")
+        if spec.flow_sketch:
+            raise ExperimentError(
+                "flow_sketch requires flow_model='fluid': the packet plane "
+                "never feeds the cardinality sketch, so the option would "
+                "silently report nothing")
         self._validate_traffic_fields(spec)
         topology = self.topology(spec.topology)
         config = spec.config
@@ -605,7 +767,8 @@ class RunContext:
             host_window=config.host_window,
             host_rto=config.host_rto,
             util_window=config.util_window,
-            stats=StatsCollector(record_paths=spec.record_paths),
+            stats=StatsCollector(record_paths=spec.record_paths,
+                                 fct_percentiles=spec.fct_percentiles),
             transport=spec.transport if spec.transport is not None else config.transport,
             host_ack_every=spec.ack_every,
             sanitize=self._sanitize,

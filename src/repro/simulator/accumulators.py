@@ -15,14 +15,22 @@ paper's figures:
   stream, for quantities without a small discrete domain (e.g. sampled
   delivered paths).  Deterministic: the reservoir is driven by its own seeded
   PRNG, never the global one.
+* :class:`HyperLogLog` — approximate distinct-count sketch for flow
+  cardinality at million-flow scale, where an exact per-switch flow set would
+  cost O(flows) memory per switch.  Deterministic: items are hashed with
+  blake2b (never Python's salted ``hash``), so two identically fed sketches
+  agree register-for-register and the estimate is a pure function of the
+  offered multiset.
 """
 
 from __future__ import annotations
 
+import hashlib
+import math
 import random
 from typing import Dict, Iterable, List, Sequence, Tuple
 
-__all__ = ["StreamingHistogram", "ReservoirSampler"]
+__all__ = ["StreamingHistogram", "ReservoirSampler", "HyperLogLog"]
 
 
 class StreamingHistogram:
@@ -94,6 +102,60 @@ class StreamingHistogram:
     def items(self) -> List[Tuple[int, int]]:
         """(value, count) pairs in increasing value order."""
         return sorted(self._counts.items())
+
+
+class HyperLogLog:
+    """Flajolet's HyperLogLog distinct-count estimator, pure Python.
+
+    ``2**precision`` one-byte registers (the default 1024 gives a standard
+    error of ``1.04 / sqrt(1024)`` ≈ 3.3%), fed from a 64-bit blake2b digest:
+    the top ``precision`` bits select a register, the remaining bits supply
+    the leading-zero rank.  ``add`` is O(1); memory is constant.  The
+    small-range correction (linear counting while registers are mostly empty)
+    makes the estimate near-exact for the cardinalities unit tests use.
+
+    Determinism contract: ``repr`` of the item keys the hash, so offer only
+    values with stable reprs (ints, strings, tuples thereof) — never objects
+    whose repr embeds an ``id()``.
+    """
+
+    __slots__ = ("precision", "_registers", "_tail_bits")
+
+    def __init__(self, precision: int = 10):
+        if not 4 <= precision <= 16:
+            raise ValueError(f"HyperLogLog precision must be in [4, 16], got {precision}")
+        self.precision = precision
+        self._registers = bytearray(1 << precision)
+        self._tail_bits = 64 - precision
+
+    def add(self, item) -> None:
+        """Offer one item. O(1); duplicates never change the estimate."""
+        digest = hashlib.blake2b(repr(item).encode("utf-8"), digest_size=8).digest()
+        value = int.from_bytes(digest, "big")
+        index = value >> self._tail_bits
+        tail = value & ((1 << self._tail_bits) - 1)
+        rank = self._tail_bits - tail.bit_length() + 1
+        if rank > self._registers[index]:
+            self._registers[index] = rank
+
+    def estimate(self) -> float:
+        """Approximate number of distinct items offered so far."""
+        m = len(self._registers)
+        alpha = 0.7213 / (1.0 + 1.079 / m)
+        raw = alpha * m * m / sum(2.0 ** -r for r in self._registers)
+        zeros = self._registers.count(0)
+        if raw <= 2.5 * m and zeros:
+            return m * math.log(m / zeros)
+        return raw
+
+    def merge(self, other: "HyperLogLog") -> None:
+        """Fold another sketch in (register-wise max): the union estimate."""
+        if other.precision != self.precision:
+            raise ValueError("cannot merge HyperLogLog sketches of different precision")
+        registers = self._registers
+        for index, rank in enumerate(other._registers):
+            if rank > registers[index]:
+                registers[index] = rank
 
 
 class ReservoirSampler:

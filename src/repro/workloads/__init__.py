@@ -11,12 +11,14 @@ from repro.workloads.distributions import (
     web_search_distribution,
 )
 from repro.workloads.generator import (
+    FlowStream,
     WorkloadSpec,
     generate_workload,
     incast_pairs,
     permutation_pairs,
     random_pairs,
     split_senders_receivers,
+    stream_workload,
 )
 
 __all__ = [
@@ -29,7 +31,9 @@ __all__ = [
     "uniform_distribution",
     "distribution_by_name",
     "WorkloadSpec",
+    "FlowStream",
     "generate_workload",
+    "stream_workload",
     "split_senders_receivers",
     "random_pairs",
     "incast_pairs",

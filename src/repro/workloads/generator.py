@@ -11,9 +11,10 @@ methodology.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,7 +25,9 @@ from repro.workloads.distributions import EmpiricalCDF
 
 __all__ = [
     "WorkloadSpec",
+    "FlowStream",
     "generate_workload",
+    "stream_workload",
     "split_senders_receivers",
     "random_pairs",
     "incast_pairs",
@@ -53,6 +56,138 @@ class WorkloadSpec:
             return 0.0
         capacity_packets = len(self.senders) * host_capacity * self.duration
         return self.total_packets / capacity_packets if capacity_packets else 0.0
+
+
+class FlowStream:
+    """A lazily generated workload: flows arrive as a time-ordered iterator.
+
+    The streaming counterpart of :class:`WorkloadSpec` for million-flow fluid
+    scenarios — the full flow list is never materialized.  Iterating yields
+    :class:`~repro.simulator.flow.Flow` objects in non-decreasing
+    ``start_time`` order with sequential ``flow_id``s; each iteration (and the
+    ``flows`` property) builds a fresh generator, so a stream can drive any
+    number of runs with identical flows.
+    """
+
+    def __init__(self, senders: List[str], receivers: List[str],
+                 target_load: float, duration: float, distribution_name: str,
+                 factory: Callable[[], Iterator[Flow]]):
+        self.senders = senders
+        self.receivers = receivers
+        self.target_load = target_load
+        self.duration = duration
+        self.distribution_name = distribution_name
+        self._factory = factory
+
+    def __iter__(self) -> Iterator[Flow]:
+        return self._factory()
+
+    @property
+    def flows(self) -> Iterator[Flow]:
+        """A fresh arrival-ordered flow iterator (mirrors ``WorkloadSpec.flows``)."""
+        return self._factory()
+
+
+#: Draws per substream refill in :func:`stream_workload`.  Purely an
+#: amortization knob: the generated flows are identical for every chunk size.
+_STREAM_CHUNK = 1024
+
+
+def stream_workload(
+    topology: Topology,
+    distribution: EmpiricalCDF,
+    load: float,
+    duration: float,
+    host_capacity: float = 10.0,
+    seed: int = 0,
+    senders: Optional[Sequence[str]] = None,
+    receivers: Optional[Sequence[str]] = None,
+    pair_senders_receivers: bool = False,
+    start_after: float = 0.0,
+    chunk: int = _STREAM_CHUNK,
+) -> FlowStream:
+    """The lazy/chunked counterpart of :func:`generate_workload`.
+
+    Same Poisson arrival process and parameters, O(senders) memory: each
+    sender owns three substreams (inter-arrival gaps, destinations, sizes)
+    seeded ``(seed, sender_index, field)`` and refilled ``chunk`` draws at a
+    time; the per-sender streams are lazily merged by
+    ``(start_time, sender_index, seq)``.  Every flow is a pure function of
+    the arguments — numpy's batched draws consume the bit stream exactly like
+    repeated single draws, so ``chunk`` never changes the workload.
+
+    The draw necessarily differs from :func:`generate_workload`'s single
+    shared generator (its across-sender interleaving cannot be replayed
+    without materializing every sender's arrivals), so the two paths produce
+    statistically equivalent but not flow-identical workloads.  Packet-level
+    scenarios keep the eager path; the fluid plane switches to this one when
+    the expected flow count would make the eager list a memory hazard.
+    """
+    if not 0.0 < load <= 1.5:
+        raise WorkloadError(f"load must be in (0, 1.5], got {load}")
+    if duration <= 0:
+        raise WorkloadError("duration must be positive")
+    if chunk < 1:
+        raise WorkloadError("chunk must be positive")
+
+    if senders is None or receivers is None:
+        default_senders, default_receivers = split_senders_receivers(topology)
+        senders = list(senders) if senders is not None else default_senders
+        receivers = list(receivers) if receivers is not None else default_receivers
+    senders = list(senders)
+    receivers = list(receivers)
+    if pair_senders_receivers and len(senders) != len(receivers):
+        raise WorkloadError("paired workloads need equally many senders and receivers")
+    for index, sender in enumerate(senders):
+        options = [receivers[index]] if pair_senders_receivers \
+            else [r for r in receivers if r != sender]
+        if not options:
+            raise WorkloadError(f"sender {sender!r} has no eligible receiver")
+
+    per_sender_rate = load * host_capacity / distribution.mean()
+    end = start_after + duration
+
+    def sender_stream(index: int, sender: str):
+        gap_rng = np.random.default_rng((seed, index, 0))
+        size_rng = np.random.default_rng((seed, index, 1))
+        if pair_senders_receivers:
+            options = [receivers[index]]
+            dst_rng = None
+        else:
+            options = [r for r in receivers if r != sender]
+            dst_rng = np.random.default_rng((seed, index, 2))
+        time = start_after
+        seq = 0
+        while True:
+            gaps = gap_rng.exponential(1.0 / per_sender_rate, chunk)
+            sizes = distribution.sample(size_rng, chunk)
+            picks = dst_rng.integers(0, len(options), chunk) \
+                if dst_rng is not None else None
+            for draw in range(chunk):
+                time += float(gaps[draw])
+                if time >= end:
+                    return
+                receiver = options[int(picks[draw])] if picks is not None \
+                    else options[0]
+                yield (time, index, seq, sender, receiver, int(sizes[draw]))
+                seq += 1
+
+    def merged() -> Iterator[Flow]:
+        streams = [sender_stream(index, sender)
+                   for index, sender in enumerate(senders)]
+        for flow_id, (time, _index, _seq, src, dst, size) in enumerate(
+                heapq.merge(*streams)):
+            yield Flow(src_host=src, dst_host=dst, size_packets=size,
+                       start_time=time, flow_id=flow_id)
+
+    return FlowStream(
+        senders=senders,
+        receivers=receivers,
+        target_load=load,
+        duration=duration,
+        distribution_name=distribution.name,
+        factory=merged,
+    )
 
 
 def split_senders_receivers(topology: Topology) -> Tuple[List[str], List[str]]:

@@ -23,6 +23,8 @@ if not HAVE_NUMPY:
     collect_ignore = [
         "integration/test_end_to_end.py",
         "integration/test_experiments.py",
+        "integration/test_fluid_model.py",
+        "integration/test_pruned_equivalence.py",
         "integration/test_gc_results.py",
         "integration/test_grid_runner.py",
         "integration/test_probe_batching.py",
@@ -32,6 +34,7 @@ if not HAVE_NUMPY:
         "integration/test_transport_scenarios.py",
         "unit/test_baselines.py",
         "unit/test_policies_and_cli.py",
+        "unit/test_race.py",
         "unit/test_topology_spec.py",
         "unit/test_wave_prefilter.py",
         "unit/test_workloads.py",

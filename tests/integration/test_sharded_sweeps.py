@@ -125,15 +125,73 @@ class TestSpecHash:
         sanitized sweep could not resume an unsanitized one."""
         import dataclasses
 
+        from repro.experiments.runner import _V3_FIELDS
+
         spec = tiny_specs()[0]
         field_names = {f.name for f in dataclasses.fields(ScenarioSpec)}
         assert "sanitize" not in field_names
         # Canonicalization covers exactly the spec fields — nothing ambient.
-        assert set(canonical_spec(spec)) == field_names
+        # Fields added after hash v2 are omitted at their defaults so that
+        # pre-existing store keys stay resumable (see test_spec_hash_is_pinned).
+        assert set(canonical_spec(spec)) == field_names - set(_V3_FIELDS)
+        fluid = ScenarioSpec(**{**spec.__dict__, "flow_model": "fluid"})
+        assert set(canonical_spec(fluid)) == (field_names - set(_V3_FIELDS)) | {"flow_model"}
         monkeypatch.delenv("CONTRA_SANITIZE", raising=False)
         base = spec_hash(spec)
         monkeypatch.setenv("CONTRA_SANITIZE", "1")
         assert spec_hash(spec) == base
+
+    def test_spec_field_set_is_pinned(self):
+        """Adding a ScenarioSpec field is a compatibility event: it must go
+        into ``_V3_FIELDS`` (or a future version set) with its default, or
+        every existing store key silently changes.  This pin forces that
+        decision to be explicit."""
+        import dataclasses
+
+        from repro.experiments.runner import _V3_FIELDS
+
+        field_names = [f.name for f in dataclasses.fields(ScenarioSpec)]
+        assert field_names == [
+            "name", "system", "topology", "config", "policy", "workload",
+            "load", "seed", "transport", "ack_every", "traffic",
+            "workload_host_rate", "workload_scale", "senders", "receivers",
+            "pair_senders_receivers", "incast_fanin", "incast_receiver",
+            "stream_rate", "stream_start", "streams_per_pair", "events",
+            "fail_agg_core_link", "failed_link", "failure_time",
+            "probe_period", "flowlet_timeout", "use_versioning",
+            "respect_compiled_probe_period", "record_paths",
+            "stop_after_completion", "run_duration", "cdf_points",
+            "collect_throughput", "flow_model", "flow_sketch",
+            "fct_percentiles",
+        ]
+        assert _V3_FIELDS == {"flow_model": "packet", "flow_sketch": False,
+                              "fct_percentiles": ()}
+
+    def test_spec_hash_is_pinned_for_packet_defaults(self):
+        """Regression pin: a spec that leaves every post-v2 field at its
+        default must hash exactly as it did before those fields existed, so
+        packet-plane sweeps resume against stores written by older builds."""
+        spec = tiny_specs()[0]
+        pinned = ScenarioSpec(name="pin:ecmp", system="ecmp",
+                              topology=TopologySpec("fattree", k=4, capacity=100.0,
+                                                    oversubscription=4.0),
+                              config=ExperimentConfig(), workload="web_search",
+                              load=0.4, seed=1, stop_after_completion=True)
+        assert spec_hash(pinned) == (
+            "7c7dfd526b7ce05af257b91056d5a52aca3d2e81ec8f80b644be6f6d5ea9ba64")
+        # Any v3 field moved off its default must change the hash…
+        assert spec_hash(ScenarioSpec(**{**spec.__dict__, "flow_model": "fluid"})) \
+            != spec_hash(spec)
+        assert spec_hash(ScenarioSpec(**{**spec.__dict__, "flow_sketch": True})) \
+            != spec_hash(spec)
+        assert spec_hash(ScenarioSpec(**{**spec.__dict__,
+                                         "fct_percentiles": (50.0,)})) \
+            != spec_hash(spec)
+        # …and the three non-default hashes must be distinct from each other.
+        hashes = {spec_hash(ScenarioSpec(**{**spec.__dict__, **override}))
+                  for override in ({"flow_model": "fluid"}, {"flow_sketch": True},
+                                   {"fct_percentiles": (50.0,)})}
+        assert len(hashes) == 3
 
 
 class TestResultsStore:

@@ -108,7 +108,8 @@ class TestTransportKnob:
         from repro import cli
         captured = {}
 
-        def fake_run_scenario(name, config, processes=None, results_dir=None):
+        def fake_run_scenario(name, config, processes=None, results_dir=None,
+                              flow_model=None):
             captured["transport"] = config.transport
             from repro.experiments.registry import ScenarioOutcome
             return ScenarioOutcome(name, "stub", {})

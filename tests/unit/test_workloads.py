@@ -10,6 +10,7 @@ from repro.workloads import (
     CACHE_CDF,
     WEB_SEARCH_CDF,
     EmpiricalCDF,
+    FlowStream,
     cache_distribution,
     distribution_by_name,
     generate_workload,
@@ -17,6 +18,7 @@ from repro.workloads import (
     permutation_pairs,
     random_pairs,
     split_senders_receivers,
+    stream_workload,
     uniform_distribution,
     web_search_distribution,
 )
@@ -257,3 +259,79 @@ class TestUniformByName:
 
     def test_uniform_scale_stretches_tail(self):
         assert distribution_by_name("uniform", 2.0).quantile(1.0) == 40
+
+
+class TestStreamWorkload:
+    """Contracts of the lazy/chunked workload path (ARCHITECTURE.md §7):
+    chunk-size independence, seed determinism, re-iterability, time order."""
+
+    def _stream(self, **kwargs):
+        topo = leafspine(2, 2, hosts_per_leaf=2)
+        defaults = dict(load=0.8, duration=20.0, seed=3)
+        defaults.update(kwargs)
+        return stream_workload(topo, uniform_distribution(), **defaults)
+
+    def test_chunk_size_never_changes_the_workload(self):
+        reference = list(self._stream(chunk=1))
+        for chunk in (2, 7, 512):
+            flows = list(self._stream(chunk=chunk))
+            assert [(f.src_host, f.dst_host, f.size_packets, f.start_time,
+                     f.flow_id) for f in flows] \
+                == [(f.src_host, f.dst_host, f.size_packets, f.start_time,
+                     f.flow_id) for f in reference]
+
+    def test_stream_is_reiterable_and_deterministic(self):
+        stream = self._stream()
+        first, second = list(stream), list(stream)
+        assert [f.__dict__ for f in first] == [f.__dict__ for f in second]
+        again = list(self._stream())
+        assert [f.__dict__ for f in first] == [f.__dict__ for f in again]
+        assert [f.__dict__ for f in first] \
+            != [f.__dict__ for f in self._stream(seed=4)]
+
+    def test_flows_arrive_in_time_order_with_sequential_ids(self):
+        flows = list(self._stream())
+        assert flows, "expected a non-empty stream at load 0.8"
+        times = [f.start_time for f in flows]
+        assert times == sorted(times)
+        assert [f.flow_id for f in flows] == list(range(len(flows)))
+
+    def test_start_after_delays_the_window(self):
+        flows = list(self._stream(start_after=5.0, duration=10.0))
+        assert min(f.start_time for f in flows) >= 5.0
+        assert max(f.start_time for f in flows) < 15.0
+
+    def test_paired_mode_fixes_each_senders_receiver(self):
+        topo = leafspine(2, 2, hosts_per_leaf=2)
+        senders, receivers = split_senders_receivers(topo)
+        stream = stream_workload(topo, uniform_distribution(), load=0.8,
+                                 duration=20.0, seed=3, senders=senders,
+                                 receivers=receivers,
+                                 pair_senders_receivers=True)
+        pairing = dict(zip(senders, receivers))
+        for flow in stream:
+            assert pairing[flow.src_host] == flow.dst_host
+
+    def test_returns_flowstream_metadata(self):
+        stream = self._stream()
+        assert isinstance(stream, FlowStream)
+        assert stream.target_load == 0.8
+        assert stream.duration == 20.0
+        assert stream.distribution_name == "uniform"
+        # Default selection is the disjoint half/half split, like the eager path.
+        assert not set(stream.senders) & set(stream.receivers)
+        assert len(stream.senders) + len(stream.receivers) == 4
+
+    def test_validation_mirrors_eager_generator(self):
+        topo = leafspine(2, 2, hosts_per_leaf=2)
+        with pytest.raises(WorkloadError):
+            stream_workload(topo, uniform_distribution(), load=1.6, duration=5.0)
+        with pytest.raises(WorkloadError):
+            stream_workload(topo, uniform_distribution(), load=0.5, duration=0.0)
+        with pytest.raises(WorkloadError):
+            stream_workload(topo, uniform_distribution(), load=0.5, duration=5.0,
+                            chunk=0)
+        with pytest.raises(WorkloadError):
+            stream_workload(topo, uniform_distribution(), load=0.5, duration=5.0,
+                            senders=["h0"], receivers=["h1", "h2"],
+                            pair_senders_receivers=True)
