@@ -1,0 +1,160 @@
+"""Straggler-skewed sweep benchmark: static 2-shard split vs 2 coordinated workers.
+
+The grid is deliberately skewed: two expensive Contra points sit at *even*
+spec positions, so the static round-robin split hands **both** of them to
+shard 0 while shard 1 draws only the near-free ECMP points and then idles —
+the straggler pathology the coordinator exists to fix.  Draining the same
+grid coordinated, the second worker finishes the cheap group and then
+*steals* the straggler group's remaining point, so wall-clock drops from
+``2 × C`` (the straggler shard's serialized cost) to ``≈ C`` plus the cheap
+remainder and one extra policy compile — the predicted ~1.9× against the
+asserted ≥1.5× bound.
+
+Point costs are *injected*: each point runs the real simulator (tiny
+config — the records are genuine, and both stores are checked to hold the
+identical grid) and is then padded to its nominal cost with a sleep.  A
+sleep is scheduler-bound, not CPU-bound, so the measured speedup reflects
+the coordinator's claim/steal behavior — what this benchmark tracks — and
+not how many cores the runner happens to have: two CPU-bound straggler
+simulations on a small runner would contend with each other and bury the
+scheduling signal in machine-size noise.  The padding also makes the
+``BENCH_*.json`` wall-clock essentially deterministic, so the cross-commit
+``bench_diff`` trajectory isolates regressions in the coordinator's own
+overhead (lease I/O, claim scans, poll loops).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.coordinator import CoordinatedBackend
+from repro.experiments.results import ResultsStore, ShardedBackend
+from repro.experiments.runner import (
+    RunContext,
+    ScenarioSpec,
+    SerialBackend,
+    TopologySpec,
+)
+
+from conftest import run_once, write_bench_artifact
+
+TINY = ExperimentConfig(workload_duration=1.5, run_duration=20.0, loads=(0.4,),
+                        websearch_scale=0.05, cache_scale=0.2)
+
+#: Nominal per-point cost padding (seconds): the Contra points are the
+#: stragglers, the ECMP points are near-free filler.
+PAD_S = {"contra": 3.0, "ecmp": 0.05}
+
+
+def _topology() -> TopologySpec:
+    return TopologySpec("fattree", k=4, capacity=TINY.host_capacity,
+                        oversubscription=TINY.oversubscription)
+
+
+def straggler_specs() -> list:
+    """Four points, the expensive ones at even positions.
+
+    Round-robin 2-sharding assigns positions 0 and 2 — both Contra
+    stragglers — to shard 0, and the two cheap ECMP points to shard 1.
+    """
+    expensive = [
+        ScenarioSpec(name=f"straggler:contra-{seed}", system="contra",
+                     topology=_topology(), config=TINY,
+                     workload="web_search", load=0.4, seed=seed,
+                     stop_after_completion=True)
+        for seed in (1, 2)
+    ]
+    cheap = [
+        ScenarioSpec(name=f"straggler:ecmp-{seed}", system="ecmp",
+                     topology=_topology(), config=TINY,
+                     workload="web_search", load=0.4, seed=seed,
+                     stop_after_completion=True)
+        for seed in (1, 2)
+    ]
+    return [expensive[0], cheap[0], expensive[1], cheap[1]]
+
+
+class PaddedSerialBackend(SerialBackend):
+    """Real simulation results, padded to each point's nominal cost."""
+
+    def run_iter_timed(self, specs):
+        for spec, (result, wall_s) in zip(specs, super().run_iter_timed(specs)):
+            pad = PAD_S[spec.system]
+            time.sleep(pad)
+            yield result, wall_s + pad
+
+
+def _static_worker(index: int, specs, directory) -> None:
+    ShardedBackend(ResultsStore(directory, index, 2),
+                   inner=PaddedSerialBackend()).run(specs)
+
+
+def _coordinated_worker(owner: str, specs, directory) -> None:
+    CoordinatedBackend(directory, inner=PaddedSerialBackend(RunContext()),
+                       owner=owner).drain(specs)
+
+
+def _run_two(target, jobs) -> float:
+    """Fork two workers, wait for both, return the concurrent wall-clock."""
+    ctx = multiprocessing.get_context("fork")
+    workers = [ctx.Process(target=target, args=args) for args in jobs]
+    started = time.perf_counter()
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    wall = time.perf_counter() - started
+    for worker in workers:
+        assert worker.exitcode == 0, f"worker died with {worker.exitcode}"
+    return wall
+
+
+def _run_straggler_showdown(static_dir, coordinated_dir) -> dict:
+    specs = straggler_specs()
+    static_wall = _run_two(_static_worker,
+                           [(0, specs, static_dir), (1, specs, static_dir)])
+    coordinated_wall = _run_two(
+        _coordinated_worker,
+        [("bench-w0", specs, coordinated_dir),
+         ("bench-w1", specs, coordinated_dir)])
+    stolen = sum(
+        json.loads(path.read_text()).get("stolen", 0)
+        for path in coordinated_dir.glob("worker-*.meta.json"))
+    return {
+        "static_wall_s": round(static_wall, 4),
+        "coordinated_wall_s": round(coordinated_wall, 4),
+        "speedup": round(static_wall / coordinated_wall, 4),
+        "stolen": stolen,
+    }
+
+
+def test_coordinated_drain_beats_static_split(benchmark, tmp_path):
+    static_dir = tmp_path / "static"
+    coordinated_dir = tmp_path / "coordinated"
+    outcome = run_once(benchmark, _run_straggler_showdown,
+                       static_dir, coordinated_dir)
+
+    # Identity first: both stores hold the identical full grid.
+    specs = straggler_specs()
+    static_loaded = ResultsStore(static_dir).load()
+    coordinated_loaded = ResultsStore(coordinated_dir).load()
+    assert set(static_loaded) == set(coordinated_loaded)
+    assert len(static_loaded) == len(specs)
+    for key, result in static_loaded.items():
+        assert coordinated_loaded[key].summary == result.summary
+
+    # The perf claim: dynamic stealing beats the straggler shard by ≥1.5×.
+    assert outcome["speedup"] >= 1.5, (
+        f"coordinated drain only {outcome['speedup']:.2f}x faster than the "
+        f"static split (static {outcome['static_wall_s']:.1f}s, "
+        f"coordinated {outcome['coordinated_wall_s']:.1f}s)")
+
+    write_bench_artifact("test_coordinated_drain_beats_static_split",
+                         outcome["static_wall_s"] + outcome["coordinated_wall_s"],
+                         extra=outcome)
+    print(f"\nstatic 2-shard split : {outcome['static_wall_s']:.2f} s")
+    print(f"2 coordinated workers: {outcome['coordinated_wall_s']:.2f} s "
+          f"({outcome['speedup']:.2f}x, {outcome['stolen']} steal(s))")

@@ -9,8 +9,14 @@
 * ``contra run-grid`` — run a named experiment scenario through the parallel
   grid runner (``--processes`` fans the (system × load × seed) points across
   cores) and optionally dump the results as JSON; ``--results-dir`` makes the
-  run resumable (completed points are skipped on restart) and ``--shard i/n``
-  runs a deterministic 1/n slice for scale-out across machines or CI jobs;
+  run resumable (completed points are skipped on restart), ``--shard i/n``
+  runs a deterministic 1/n slice for scale-out across machines or CI jobs,
+  and ``--coordinate D [--workers N]`` drains the grid through the
+  lease-based work-stealing coordinator — any number of invocations on any
+  hosts sharing ``D`` converge to the same byte-identical report;
+* ``contra sweep-status`` — progress view of a coordinated results
+  directory: pending/leased/complete per locality group plus per-worker
+  executed counts and idle time;
 * ``contra race-check`` — re-run a grid scenario's points under seeded
   permutations of the non-contractual same-tick event orders (see
   ARCHITECTURE.md §6) and diff the summaries: any divergence is a hidden
@@ -47,8 +53,10 @@ from repro.experiments.registry import (
     gc_scenario,
     merge_scenario,
     run_scenario,
+    run_scenario_coordinated,
     run_scenario_shard,
     scenario_names,
+    sweep_status_scenario,
 )
 from repro.experiments.results import ResultsStore, parse_shard
 from repro.simulator.flow import TRANSPORT_MODES
@@ -206,6 +214,8 @@ def _cmd_run_grid(args: argparse.Namespace) -> int:
         # inherit it, and spec hashes stay untouched (sanitizing never
         # re-keys a results store).
         os.environ["CONTRA_SANITIZE"] = "1"
+    if args.workers is not None and args.coordinate is None:
+        raise SystemExit("--workers only applies to --coordinate runs")
     shard = None
     if args.shard is not None:
         try:
@@ -221,6 +231,33 @@ def _cmd_run_grid(args: argparse.Namespace) -> int:
     if args.json is not None and not Path(args.json).parent.is_dir():
         # Fail before the experiment runs, not after minutes of simulation.
         raise SystemExit(f"--json: directory {Path(args.json).parent} does not exist")
+
+    if args.coordinate is not None:
+        # The coordinator owns its store, worker fan-out and claim order;
+        # reject the knobs it would silently ignore rather than half-honour
+        # them (house rule: an ignored flag contradicts what was asked).
+        if shard is not None:
+            raise SystemExit("--coordinate and --shard are mutually exclusive "
+                             "(leases assign work dynamically; shards statically)")
+        if args.results_dir is not None:
+            raise SystemExit("--coordinate D names the results directory "
+                             "itself; drop --results-dir")
+        if args.processes is not None:
+            raise SystemExit("--coordinate runs one drain process per "
+                             "--workers; use --workers N, not --processes")
+        try:
+            coordinated = run_scenario_coordinated(
+                args.name, config, args.coordinate,
+                workers=args.workers if args.workers is not None else 1,
+                flow_model=args.flow_model)
+        except (KeyError, ExperimentError) as error:
+            raise SystemExit(str(error))
+        print(coordinated.text)
+        print(coordinated.outcome.text)
+        if args.json is not None:
+            # Matches an unsharded default run byte for byte, like merge.
+            _write_outcome_json(args.json, coordinated.outcome, args.preset, None)
+        return 0
 
     if shard is not None:
         # Every --shard run (including 0/1) takes the shard path, so each
@@ -281,6 +318,18 @@ def _cmd_merge_results(args: argparse.Namespace) -> int:
                                  flow_model=args.flow_model)
     except (KeyError, ExperimentError) as error:
         raise SystemExit(str(error))
+    # A merge *can* succeed while a coordinated drain still holds leases
+    # (every point complete, releases pending) — warn so a mid-drain merge
+    # is an explicit choice, but don't fail: the merged grid is complete.
+    from repro.experiments.coordinator import live_leases
+
+    leases = [lease for lease in live_leases(args.results_dir)
+              if not lease.stale]
+    if leases:
+        print(f"warning: {len(leases)} live lease(s) remain in "
+              f"{args.results_dir} (a coordinated drain may still be "
+              f"running); the merged report covers the full grid",
+              file=sys.stderr)
     print(outcome.text)
     if args.json is not None:
         # "processes": None matches an unsharded default run, so the merged
@@ -324,6 +373,22 @@ def _cmd_gc_results(args: argparse.Namespace) -> int:
           f"records ({summary['dropped_stale']} stale, "
           f"{summary['dropped_duplicates']} duplicate(s) dropped); "
           f"{summary['missing']} grid point(s) still missing")
+    if summary["leases_removed"] or summary["leases_live"]:
+        print(f"leases: {summary['leases_removed']} orphaned/stale removed, "
+              f"{summary['leases_live']} live lease(s) left in place")
+    return 0
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    config = _grid_config(args)
+    if not Path(args.results_dir).is_dir():
+        raise SystemExit(f"--results-dir: {args.results_dir} does not exist")
+    try:
+        status = sweep_status_scenario(args.name, config, args.results_dir,
+                                       flow_model=args.flow_model)
+    except (KeyError, ExperimentError) as error:
+        raise SystemExit(str(error))
+    print(f"{args.name}: {status.render()}")
     return 0
 
 
@@ -415,6 +480,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run only a deterministic 1/N slice of the grid "
                                "(round-robin by spec index) into --results-dir; "
                                "union the shards with `contra merge-results`")
+    run_grid.add_argument("--coordinate", metavar="DIR", default=None,
+                          help="drain the grid through the lease-based sweep "
+                               "coordinator sharing DIR as the results store; "
+                               "any number of invocations on any hosts pointed "
+                               "at the same DIR converge to the full grid")
+    run_grid.add_argument("--workers", type=int, default=None,
+                          help="local drain processes for --coordinate "
+                               "(default 1)")
     run_grid.add_argument("--sanitize", action="store_true",
                           help="run every point under the runtime sanitizer "
                                "plane (invariant checks + event provenance; "
@@ -474,6 +547,24 @@ def build_parser() -> argparse.ArgumentParser:
     gc.add_argument("--flow-model", choices=("packet", "fluid"), default=None,
                     help="must match the --flow-model the kept shards ran with")
     gc.set_defaults(func=_cmd_gc_results)
+
+    status = sub.add_parser(
+        "sweep-status",
+        help="progress view of a coordinated results directory: "
+             "pending/leased/complete per locality group, plus per-worker "
+             "executed counts and idle time")
+    status.add_argument("name", choices=tuple(scenario_names()))
+    status.add_argument("--results-dir", metavar="DIR", required=True,
+                        help="the results store directory the drain runs against")
+    status.add_argument("--preset", choices=("quick", "default", "full", "env"),
+                        default="quick",
+                        help="must match the preset the drain runs with (the "
+                             "grid is rebuilt from it to key the lookups)")
+    status.add_argument("--transport", choices=TRANSPORT_MODES, default=None,
+                        help="must match the --transport the drain runs with")
+    status.add_argument("--flow-model", choices=("packet", "fluid"), default=None,
+                        help="must match the --flow-model the drain runs with")
+    status.set_defaults(func=_cmd_sweep_status)
     return parser
 
 

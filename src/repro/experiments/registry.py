@@ -23,11 +23,18 @@ Two kinds of entries exist:
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, replace
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.exceptions import ExperimentError
 from repro.experiments import report
+from repro.experiments.coordinator import (
+    DEFAULT_LEASE_TTL,
+    CoordinatedBackend,
+    SweepStatus,
+    sweep_status,
+)
 from repro.experiments.ablations import (
     run_flowlet_timeout_ablation,
     run_probe_period_ablation,
@@ -75,10 +82,13 @@ from repro.experiments.scalability import run_scalability_sweep
 __all__ = [
     "ScenarioOutcome",
     "ShardOutcome",
+    "CoordinatedOutcome",
     "GridScenario",
     "SCENARIOS",
     "run_scenario",
     "run_scenario_shard",
+    "run_scenario_coordinated",
+    "sweep_status_scenario",
     "merge_scenario",
     "gc_scenario",
     "scenario_names",
@@ -117,6 +127,38 @@ class ShardOutcome:
                 f"{self.executed} executed, {self.skipped} already complete "
                 f"({self.wall_s:.1f} s)\n"
                 f"results: {self.results_path}")
+
+
+@dataclass
+class CoordinatedOutcome:
+    """What one ``--coordinate`` invocation of a scenario produced.
+
+    Unlike a :class:`ShardOutcome`, every coordinated invocation converges
+    to the *full* grid (it waits out other workers' in-flight leases), so
+    ``outcome`` carries the complete merged report — byte-identical to an
+    unsharded run.
+    """
+
+    name: str
+    total_points: int
+    workers: List[Dict[str, Any]]
+    results_dir: str
+    wall_s: float
+    outcome: ScenarioOutcome
+
+    @property
+    def text(self) -> str:
+        executed = sum(int(worker["executed"]) for worker in self.workers)
+        lines = [f"{self.name} coordinated drain: {executed} of "
+                 f"{self.total_points} grid points executed here by "
+                 f"{len(self.workers)} worker(s) ({self.wall_s:.1f} s)"]
+        for worker in self.workers:
+            lines.append(
+                f"  {worker['owner']}: {worker['executed']} executed, "
+                f"{worker['stolen']} stolen, {worker['reclaimed']} reclaimed, "
+                f"idle {worker['idle_s']:.1f} s")
+        lines.append(f"results: {self.results_dir}")
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -429,6 +471,78 @@ def run_scenario_shard(name: str, config: ExperimentConfig, results_dir: str,
         results_path=str(store.path),
         wall_s=wall_s,
     )
+
+
+def _coordinate_worker(args) -> Dict[str, Any]:
+    """One spawned drain worker (module-level so it pickles into a pool).
+
+    Rebuilds the spec grid from the scenario name + config (specs are pure
+    functions of both, so every worker sees the identical grid in identical
+    order) and drains the shared store to claim-exhaustion.
+    """
+    name, config, results_dir, flow_model, ttl = args
+    from repro.experiments.coordinator import drain_store
+
+    entry = _grid_scenario(name)
+    specs = _build_specs(name, entry, config, flow_model)
+    return drain_store(specs, results_dir, ttl=ttl, scenario=name)
+
+
+def run_scenario_coordinated(name: str, config: ExperimentConfig,
+                             results_dir: str, workers: int = 1,
+                             flow_model: Optional[str] = None,
+                             ttl: float = DEFAULT_LEASE_TTL) -> CoordinatedOutcome:
+    """Drain a grid scenario through the lease-based sweep coordinator.
+
+    ``workers`` local drain processes claim points from the shared store
+    (locality-grouped, work-stealing — see
+    :mod:`repro.experiments.coordinator`); any number of *other* invocations
+    of this function, on any hosts sharing ``results_dir``, drain the same
+    grid concurrently.  After the local workers exhaust their claims, the
+    calling process itself runs a :class:`CoordinatedBackend` to completion:
+    it reclaims anything a killed worker (local or remote) left behind and
+    waits out live leases, so every invocation returns the **full** merged
+    outcome — byte-identical to an unsharded run.
+    """
+    if workers < 1:
+        raise ExperimentError(f"--workers must be >= 1, got {workers}")
+    entry = _grid_scenario(name)
+    specs = _build_specs(name, entry, config, flow_model)
+    started = time.perf_counter()
+    accounts: List[Dict[str, Any]] = []
+    if workers > 1:
+        job = (name, config, results_dir, flow_model, ttl)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_coordinate_worker, job)
+                       for _ in range(workers)]
+            for future in futures:
+                accounts.append(future.result())
+    # The collector: executes the whole grid itself when workers == 1,
+    # otherwise mops up (kills, reclaims, remote stragglers) and assembles
+    # the full result list from the store.
+    backend = CoordinatedBackend(results_dir, ttl=ttl, scenario=name)
+    results = run_grid(specs, backend=backend)
+    if workers == 1 or backend.executed:
+        accounts.append(backend.accounting())
+    wall_s = time.perf_counter() - started
+    return CoordinatedOutcome(
+        name=name,
+        total_points=len(specs),
+        workers=accounts,
+        results_dir=str(results_dir),
+        wall_s=wall_s,
+        outcome=entry.finish(config, results),
+    )
+
+
+def sweep_status_scenario(name: str, config: ExperimentConfig,
+                          results_dir: str,
+                          flow_model: Optional[str] = None,
+                          ttl: float = DEFAULT_LEASE_TTL) -> SweepStatus:
+    """Snapshot a coordinated results directory against the scenario's grid."""
+    entry = _grid_scenario(name)
+    specs = _build_specs(name, entry, config, flow_model)
+    return sweep_status(specs, results_dir, ttl=ttl)
 
 
 def gc_scenario(name: str, config: ExperimentConfig, results_dir: str,

@@ -29,6 +29,7 @@ must agree — a conflict means the store mixes incompatible runs and raises
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -111,7 +112,8 @@ class ResultsStore:
     completed work regardless of which shard layout produced it.
     """
 
-    def __init__(self, directory, shard_index: int = 0, shard_count: int = 1):
+    def __init__(self, directory, shard_index: int = 0, shard_count: int = 1,
+                 filename: Optional[str] = None):
         if shard_count < 1 or not 0 <= shard_index < shard_count:
             raise ExperimentError(
                 f"invalid shard {shard_index}/{shard_count}; need 0 <= i < n")
@@ -119,7 +121,14 @@ class ResultsStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.shard_index = shard_index
         self.shard_count = shard_count
-        self.path = self.directory / f"results-shard{shard_index}of{shard_count}.jsonl"
+        if filename is None:
+            filename = f"results-shard{shard_index}of{shard_count}.jsonl"
+        elif not (filename.startswith("results-") and filename.endswith(".jsonl")):
+            # load() unions results-*.jsonl; a write file outside that glob
+            # would be invisible to every reader, merge and resume.
+            raise ExperimentError(
+                f"results filename {filename!r} must match results-*.jsonl")
+        self.path = self.directory / filename
         self._repair_torn_tail()
 
     def _repair_torn_tail(self) -> None:
@@ -188,7 +197,8 @@ class ResultsStore:
 
     def record(self, spec: ScenarioSpec, result: RunResult,
                wall_s: Optional[float] = None,
-               key: Optional[str] = None) -> None:
+               key: Optional[str] = None,
+               owner: Optional[str] = None) -> None:
         """Append one completed grid point (flushed per record, crash-safe).
 
         ``wall_s`` is the wall-clock this execution spent on the point
@@ -197,7 +207,10 @@ class ResultsStore:
         bytes while :meth:`total_wall_s` can sum the true compute invested
         in the store (every record is one actual execution — re-executed
         points count every time, skipped ones never).  ``key`` lets callers
-        that already hold ``spec_hash(spec)`` skip recomputing it.
+        that already hold ``spec_hash(spec)`` skip recomputing it.  ``owner``
+        tags the record with the coordinated worker that executed it — like
+        ``point_wall_s`` it lives outside the ``result`` payload, so records
+        for one point from different workers still deduplicate cleanly.
         """
         record = {
             "spec_hash": key if key is not None else spec_hash(spec),
@@ -206,6 +219,8 @@ class ResultsStore:
         }
         if wall_s is not None:
             record["point_wall_s"] = round(wall_s, 4)
+        if owner is not None:
+            record["owner"] = owner
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, separators=(",", ":")) + "\n")
 
@@ -234,9 +249,22 @@ class ResultsStore:
         return path
 
     def load_metas(self) -> List[dict]:
-        """Every shard meta record in the directory (sorted by file name)."""
-        metas = []
+        """Every shard meta record in the directory, in shard order.
+
+        Sorted numerically by parsed ``(shard_count, shard_index)``, not by
+        file name — lexicographic order would put ``shard10of12`` before
+        ``shard2of12``.  Files whose names don't parse (there shouldn't be
+        any; :meth:`write_meta` is the only writer) sort after the rest, by
+        name.
+        """
+        files = []
         for file in sorted(self.directory.glob("shard*.meta.json")):
+            match = re.match(r"shard(\d+)of(\d+)\.meta\.json$", file.name)
+            order = ((0, int(match.group(2)), int(match.group(1)))
+                     if match else (1, 0, 0))
+            files.append((order, file))
+        metas = []
+        for _, file in sorted(files, key=lambda entry: (entry[0], entry[1].name)):
             try:
                 metas.append(json.loads(file.read_text()))
             except json.JSONDecodeError:
@@ -354,12 +382,22 @@ def gc_results(specs: Sequence[ScenarioSpec], directory) -> Dict[str, int]:
             file.unlink()
     for file in sorted(store.directory.glob("shard*.meta.json")):
         file.unlink()
+    for file in sorted(store.directory.glob("worker-*.meta.json")):
+        file.unlink()
+    # Lease hygiene: drop leases whose point is already recorded or no
+    # longer in the grid, and stale ones left by killed workers; leases a
+    # live drain still holds on pending points are reported, not touched.
+    # Imported lazily — coordinator imports this module at top level.
+    from repro.experiments.coordinator import gc_leases
+    leases_removed, leases_live = gc_leases(directory, valid_set, set(kept))
     return {
         "total_records": total,
         "kept": len(kept),
         "dropped_stale": stale,
         "dropped_duplicates": duplicates,
         "missing": len(specs) - len(kept),
+        "leases_removed": leases_removed,
+        "leases_live": leases_live,
     }
 
 

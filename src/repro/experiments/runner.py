@@ -74,6 +74,8 @@ __all__ = [
     "RunContext",
     "canonical_spec",
     "spec_hash",
+    "compile_group_key",
+    "group_label",
     "ExecutionBackend",
     "SerialBackend",
     "PoolBackend",
@@ -493,6 +495,31 @@ def spec_hash(spec: ScenarioSpec) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def compile_group_key(spec: ScenarioSpec) -> Tuple[str, TopologySpec]:
+    """The locality group of one grid point: its compile-cache footprint.
+
+    Mirrors :meth:`RunContext.compiled_policy`'s cache key: points that
+    compile a policy group under ``(policy, topology)``; points that never
+    touch the compiler (non-Contra systems without
+    ``respect_compiled_probe_period``) group under ``("", topology)`` — they
+    still share the topology cache.  The sweep coordinator clusters points
+    of one group onto one worker so a ~20 s k=32 compile is paid once per
+    worker, not once per point.
+    """
+    if spec.system == "contra" or spec.respect_compiled_probe_period:
+        return (spec.policy, spec.topology)
+    return ("", spec.topology)
+
+
+def group_label(group: Tuple[str, TopologySpec]) -> str:
+    """A short human-readable name for a compile group (status displays)."""
+    policy, topo = group
+    detail = topo.name or (f"k={topo.k}" if topo.family in ("fattree", "leafspine")
+                           else f"size={topo.size}" if topo.family == "random" else "")
+    label = f"{topo.family}({detail})" if detail else topo.family
+    return f"{label}+{policy}" if policy else label
+
+
 @dataclass
 class RunResult:
     """The per-spec outcome a grid run returns (picklable, no live objects)."""
@@ -887,7 +914,10 @@ class ExecutionBackend:
     specs, every backend returns the same :class:`RunResult` list in spec
     order (the determinism contract).  ``serial`` and ``pool`` live here;
     the store-coupled ``sharded`` backend (deterministic 1/n slices plus
-    skip-complete resume) lives in :mod:`repro.experiments.results`.
+    skip-complete resume) lives in :mod:`repro.experiments.results`, and
+    the lease-coordinated work-stealing ``CoordinatedBackend`` (dynamic
+    multi-worker drain of one store) in
+    :mod:`repro.experiments.coordinator`.
 
     Subclasses override :meth:`run_iter_timed` (preferred — it lets wrappers
     stream results as they complete, e.g. for per-point persistence, with

@@ -60,7 +60,8 @@ class TestGcResults:
 
         summary = gc_results(current, tmp_path)
         assert summary == {"total_records": 4, "kept": 2, "dropped_stale": 1,
-                           "dropped_duplicates": 1, "missing": 0}
+                           "dropped_duplicates": 1, "missing": 0,
+                           "leases_removed": 0, "leases_live": 0}
         files = sorted(p.name for p in tmp_path.iterdir())
         assert files == ["results-shard0of1.jsonl"]    # metas + old shards gone
         # Kept records preserved byte-for-byte (incl. wall-clock), spec order.
@@ -95,6 +96,32 @@ class TestGcResults:
                       [fake_record(specs[0])])
         summary = gc_results(specs, tmp_path)
         assert summary["missing"] == 1
+
+    def test_gc_removes_orphaned_and_stale_leases_keeps_live(self, tmp_path):
+        from repro.experiments.coordinator import try_acquire_lease
+
+        done, pending = spec_for(TINY, "ecmp"), spec_for(TINY, "contra")
+        write_records(tmp_path / "results-shard0of1.jsonl",
+                      [fake_record(done)])
+        # Orphaned: its point is already recorded.  Live: pending point,
+        # fresh heartbeat — a drain is presumably still executing it.
+        try_acquire_lease(tmp_path, spec_hash(done), "dead")
+        try_acquire_lease(tmp_path, spec_hash(pending), "busy")
+        summary = gc_results([done, pending], tmp_path)
+        assert summary["leases_removed"] == 1
+        assert summary["leases_live"] == 1
+        leases = sorted(p.name for p in tmp_path.glob("lease-*"))
+        assert leases == [f"lease-{spec_hash(pending)}.json"]
+
+    def test_gc_sweeps_worker_metas_and_lease_debris(self, tmp_path):
+        spec = spec_for(TINY)
+        write_records(tmp_path / "results-worker-w0.jsonl", [fake_record(spec)])
+        (tmp_path / "worker-w0.meta.json").write_text("{}\n")
+        (tmp_path / f"lease-{spec_hash(spec)}.json.w1.tmp").write_text("{}")
+        summary = gc_results([spec], tmp_path)
+        assert summary["kept"] == 1
+        files = sorted(p.name for p in tmp_path.iterdir())
+        assert files == ["results-shard0of1.jsonl"]
 
 
 class TestGcCli:

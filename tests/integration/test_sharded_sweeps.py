@@ -297,6 +297,37 @@ class TestResultsStore:
             with pytest.raises(ExperimentError):
                 parse_shard(bad)
 
+    def test_load_metas_sorts_numerically_beyond_ten_shards(self, tmp_path):
+        """Regression: ``sorted(glob)`` is lexicographic, so shard10of12
+        sorted before shard2of12 — metas must come back in numeric shard
+        order once a sweep uses ten or more shards."""
+        count = 12
+        for index in [7, 10, 0, 11, 2, 5, 1, 9, 3, 8, 6, 4]:   # write shuffled
+            ResultsStore(tmp_path, index, count).write_meta(
+                "meta-order", wall_s=1.0, total=count, assigned=1,
+                executed=1, skipped=0)
+        metas = ResultsStore(tmp_path).load_metas()
+        assert [meta["shard_index"] for meta in metas] == list(range(count))
+
+    def test_load_metas_orders_by_count_then_index(self, tmp_path):
+        """Metas from different shard layouts group by layout, not filename."""
+        for index, count in [(1, 10), (0, 2), (9, 10), (1, 2)]:
+            ResultsStore(tmp_path, index, count).write_meta(
+                "meta-order", wall_s=1.0, total=1, assigned=1,
+                executed=1, skipped=0)
+        metas = ResultsStore(tmp_path).load_metas()
+        assert [(meta["shard_count"], meta["shard_index"])
+                for meta in metas] == [(2, 0), (2, 1), (10, 1), (10, 9)]
+
+    def test_explicit_filename_must_stay_in_the_union_glob(self, tmp_path):
+        spec = tiny_specs()[0]
+        store = ResultsStore(tmp_path, filename="results-worker-w0.jsonl")
+        store.record(spec, self._result(), owner="w0")
+        loaded = ResultsStore(tmp_path).load()
+        assert set(loaded) == {spec_hash(spec)}
+        with pytest.raises(ExperimentError, match="results-"):
+            ResultsStore(tmp_path, filename="worker-w0.jsonl")
+
 
 class TestShardedExecution:
     def test_union_of_shards_equals_unsharded_on_every_summary_key(self, tmp_path):
